@@ -1,0 +1,75 @@
+// Command dcref runs the DC-REF refresh study (paper, Section 8): it
+// simulates multi-programmed workloads on a DDR3 system under the
+// uniform baseline, RAIDR, and DC-REF refresh policies and reports
+// weighted speedups and refresh counts.
+//
+// Usage:
+//
+//	dcref -workloads 8 -density 32 -simns 2e6
+//	dcref -list-apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parbor"
+	"parbor/internal/exp"
+	"parbor/internal/sim"
+)
+
+// parseDensities maps the -density flag to the evaluated densities.
+func parseDensities(gbit int) ([]sim.Density, error) {
+	switch gbit {
+	case 0:
+		return []sim.Density{sim.Density16Gbit, sim.Density32Gbit}, nil
+	case 16:
+		return []sim.Density{sim.Density16Gbit}, nil
+	case 32:
+		return []sim.Density{sim.Density32Gbit}, nil
+	default:
+		return nil, fmt.Errorf("unsupported density %d (want 16 or 32)", gbit)
+	}
+}
+
+func main() {
+	var (
+		workloads = flag.Int("workloads", 8, "number of 8-core workload mixes")
+		cores     = flag.Int("cores", 8, "cores per mix")
+		density   = flag.Int("density", 0, "chip density in Gbit: 16, 32, or 0 for both")
+		simNs     = flag.Float64("simns", 2e6, "simulated nanoseconds per run")
+		seed      = flag.Uint64("seed", 42, "workload and simulation seed")
+		listApps  = flag.Bool("list-apps", false, "print the application profiles and exit")
+	)
+	flag.Parse()
+
+	if *listApps {
+		fmt.Printf("%-12s%8s%10s%10s%12s%12s\n", "App", "MPKI", "RowLoc", "WriteFr", "Rows", "MatchProb")
+		for _, a := range parbor.SPECApps() {
+			fmt.Printf("%-12s%8.1f%10.2f%10.2f%12d%12.2f\n",
+				a.Name, a.MPKI, a.RowLocality, a.WriteFrac, a.FootprintRows, a.ContentMatchProb)
+		}
+		return
+	}
+
+	densities, err := parseDensities(*density)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcref: %v\n", err)
+		os.Exit(1)
+	}
+
+	rows, summaries, err := exp.Fig16(exp.Fig16Options{
+		Workloads: *workloads,
+		Cores:     *cores,
+		SimNs:     *simNs,
+		Densities: densities,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcref: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(exp.Table2())
+	fmt.Println(exp.FormatFig16(rows, summaries))
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseDensities(t *testing.T) {
+	for gbit, want := range map[int]int{0: 2, 16: 1, 32: 1} {
+		ds, err := parseDensities(gbit)
+		if err != nil {
+			t.Fatalf("parseDensities(%d): %v", gbit, err)
+		}
+		if len(ds) != want {
+			t.Errorf("parseDensities(%d) = %d densities, want %d", gbit, len(ds), want)
+		}
+	}
+	if _, err := parseDensities(64); err == nil {
+		t.Error("unsupported density accepted")
+	}
+}

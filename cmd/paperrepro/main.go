@@ -1,0 +1,127 @@
+// Command paperrepro regenerates every table and figure of the
+// PARBOR paper's evaluation against the simulated DRAM substrate.
+//
+// Usage:
+//
+//	paperrepro -exp all
+//	paperrepro -exp table1
+//	paperrepro -exp fig12 -rows 512 -modules 6
+//	paperrepro -exp fig16 -workloads 32 -simns 2e6
+//
+// Experiments: table1, fig11, fig12, fig13, fig14, fig15, table2,
+// fig16, appendix, retention, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parbor/internal/exp"
+)
+
+func main() {
+	var (
+		which     = flag.String("exp", "all", "experiment to run: table1|fig11|fig12|fig13|fig14|fig15|table2|fig16|appendix|retention|all")
+		rows      = flag.Int("rows", 512, "simulated rows per chip (detection experiments)")
+		modules   = flag.Int("modules", 6, "modules per vendor (fig12)")
+		seed      = flag.Uint64("seed", 42, "experiment seed")
+		workloads = flag.Int("workloads", 32, "workload mixes (fig16)")
+		simNs     = flag.Float64("simns", 2e6, "simulated nanoseconds per fig16 run")
+	)
+	flag.Parse()
+
+	if err := run(*which, exp.Options{RowsPerChip: *rows, ModulesPerVendor: *modules, Seed: *seed},
+		exp.Fig16Options{Workloads: *workloads, SimNs: *simNs, Seed: *seed}); err != nil {
+		fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, o exp.Options, fo exp.Fig16Options) error {
+	all := which == "all"
+	ran := false
+
+	if all || which == "table1" {
+		ran = true
+		rows, err := exp.Table1(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatTable1(rows))
+	}
+	if all || which == "fig11" {
+		ran = true
+		rows, err := exp.Fig11(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatFig11(rows))
+	}
+	if all || which == "fig12" {
+		ran = true
+		rows, err := exp.Fig12(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatFig12(rows))
+	}
+	if all || which == "fig13" {
+		ran = true
+		rows, err := exp.Fig13(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatFig13(rows))
+	}
+	if all || which == "fig14" {
+		ran = true
+		rows, err := exp.Fig14(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatFig14(rows))
+	}
+	if all || which == "fig15" {
+		ran = true
+		rows, err := exp.Fig15(o, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatFig15(rows))
+	}
+	if all || which == "table2" {
+		ran = true
+		fmt.Println(exp.Table2())
+	}
+	if all || which == "fig16" {
+		ran = true
+		rows, summaries, err := exp.Fig16(fo)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatFig16(rows, summaries))
+	}
+	if all || which == "appendix" {
+		ran = true
+		fmt.Println(exp.FormatAppendix(exp.Appendix()))
+	}
+	if all || which == "retention" {
+		ran = true
+		// Retention sweeps dozens of full passes per module; a smaller
+		// module keeps it in the same time envelope as the figures.
+		ro := o
+		if ro.RowsPerChip > 128 {
+			ro.RowsPerChip = 128
+		}
+		rows, err := exp.Retention(ro)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatRetention(rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"parbor/internal/exp"
+	"parbor/internal/sim"
+)
+
+func tinyOpts() (exp.Options, exp.Fig16Options) {
+	return exp.Options{RowsPerChip: 128, Chips: 1, ModulesPerVendor: 1, Seed: 42},
+		exp.Fig16Options{Workloads: 1, Cores: 2, SimNs: 5e5, Seed: 42,
+			Densities: []sim.Density{sim.Density16Gbit}}
+}
+
+func TestRunEachExperiment(t *testing.T) {
+	o, fo := tinyOpts()
+	for _, which := range []string{
+		"table1", "fig11", "fig12", "fig13", "fig14", "fig15", "table2", "fig16", "appendix", "retention",
+	} {
+		if err := run(which, o, fo); err != nil {
+			t.Errorf("run(%q): %v", which, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	o, fo := tinyOpts()
+	if err := run("bogus", o, fo); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

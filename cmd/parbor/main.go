@@ -1,0 +1,251 @@
+// Command parbor runs the PARBOR detection pipeline against a
+// simulated DRAM module and reports the detected neighbor locations,
+// the test budget, the uncovered data-dependent failures, and the
+// wall-clock such a run would take on real hardware.
+//
+// Usage:
+//
+//	parbor -vendor A -rows 512 -chips 8 -seed 42
+//	parbor -vendor C -sample 5000 -compare-random
+//	parbor -vendor B -classify -show-mapping
+//	parbor -vendor A -profile-retention
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parbor"
+	"parbor/internal/core"
+	"parbor/internal/memctl"
+	"parbor/internal/patterns"
+	"parbor/internal/retention"
+)
+
+func main() {
+	var (
+		vendorFlag    = flag.String("vendor", "A", "vendor profile: A|B|C|linear|toy")
+		rows          = flag.Int("rows", 512, "simulated rows per chip")
+		chips         = flag.Int("chips", 8, "chips per module")
+		sample        = flag.Int("sample", 0, "victim sample cap (0 = default 10000)")
+		seed          = flag.Uint64("seed", 42, "module process-variation seed")
+		compareRandom = flag.Bool("compare-random", false, "also run the equal-budget random-pattern baseline")
+		classify      = flag.Bool("classify", false, "classify the victim sample by coupling class")
+		extended      = flag.Bool("extended", false, "detect second-order neighbors from tail-gated victims (implies -classify)")
+		profileRet    = flag.Bool("profile-retention", false, "profile per-row retention with the detected patterns")
+		showMapping   = flag.Bool("show-mapping", false, "print the ground-truth mapping segments (simulation only)")
+	)
+	flag.Parse()
+
+	opts := options{
+		vendorName:    *vendorFlag,
+		rows:          *rows,
+		chips:         *chips,
+		sample:        *sample,
+		seed:          *seed,
+		compareRandom: *compareRandom,
+		classify:      *classify || *extended,
+		extended:      *extended,
+		profileRet:    *profileRet,
+		showMapping:   *showMapping,
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "parbor: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseVendor(s string) (parbor.Vendor, error) {
+	switch strings.ToLower(s) {
+	case "a":
+		return parbor.VendorA, nil
+	case "b":
+		return parbor.VendorB, nil
+	case "c":
+		return parbor.VendorC, nil
+	case "linear":
+		return parbor.VendorLinear, nil
+	case "toy":
+		return parbor.VendorToy, nil
+	default:
+		return 0, fmt.Errorf("unknown vendor %q (want A, B, C, linear or toy)", s)
+	}
+}
+
+type options struct {
+	vendorName    string
+	rows, chips   int
+	sample        int
+	seed          uint64
+	compareRandom bool
+	classify      bool
+	extended      bool
+	profileRet    bool
+	showMapping   bool
+}
+
+func run(opts options) error {
+	vendorName, rows, chips, sample, seed := opts.vendorName, opts.rows, opts.chips, opts.sample, opts.seed
+	vendor, err := parseVendor(vendorName)
+	if err != nil {
+		return err
+	}
+	cols := 8192
+	if vendor == parbor.VendorToy {
+		cols = 1024
+	}
+	cc := parbor.DefaultCouplingConfig()
+	cc.VulnerableRate = 2e-3
+	mod, err := parbor.NewModule(parbor.ModuleConfig{
+		Name:     vendorName + "1",
+		Vendor:   vendor,
+		Chips:    chips,
+		Geometry: parbor.Geometry{Banks: 1, Rows: rows, Cols: cols},
+		Coupling: cc,
+		Faults:   parbor.DefaultFaultsConfig(),
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	host, err := parbor.NewHost(mod, 0)
+	if err != nil {
+		return err
+	}
+	tester, err := parbor.NewTester(host, parbor.DetectConfig{SampleSize: sample, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Module %s: vendor %s, %d chips x (%d rows x %d cols), seed %d\n\n",
+		mod.Name(), mod.Vendor(), mod.Chips(), rows, cols, seed)
+
+	if opts.showMapping {
+		truth, err := parbor.NewMapping(vendor)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ground-truth mapping (simulation only; PARBOR never sees this):")
+		for i, seg := range truth.Segments() {
+			fmt.Printf("  segment %2d: %v\n", i, seg)
+		}
+		fmt.Printf("  distances: %v\n\n", truth.Distances())
+	}
+
+	report, err := tester.Run()
+	if err != nil {
+		return err
+	}
+	nr := report.Neighbor
+	fmt.Printf("Victim sample: %d cells (discovery: %d tests)\n", nr.SampleSize, nr.DiscoveryTests)
+	fmt.Printf("Recursive neighbor detection: %d tests\n", nr.RecursionTests)
+	for i, lvl := range nr.Levels {
+		fmt.Printf("  L%d (region %4d bits): %2d tests, distances %v\n",
+			i+1, lvl.RegionSize, lvl.Tests, lvl.Distances)
+	}
+	fmt.Printf("Neighbor distances: %v\n\n", nr.Distances)
+	fmt.Printf("Full-chip neighbor-aware test: %d tests, %d failures\n",
+		report.FullChipTests, len(report.FullChipFailures))
+	fmt.Printf("Total budget: %d tests; all observed failures: %d\n",
+		report.TotalTests(), len(report.AllFailures))
+
+	// What this run would cost on real hardware (Appendix model).
+	ttm := parbor.NewTestTimeModel()
+	paperGeom := parbor.Geometry{Banks: 8, Rows: 32768, Cols: 8192}
+	fmt.Printf("Wall-clock on a real 2GB module: %v\n",
+		ttm.ParborTime(paperGeom, 8, report.TotalTests()).Round(1e7))
+
+	if opts.classify {
+		victims, _, _ := tester.DiscoverVictims()
+		classified, tests, err := tester.ClassifyVictims(victims, nr.Distances)
+		if err != nil {
+			return err
+		}
+		counts := core.ClassCounts(classified)
+		fmt.Printf("\nVictim classification (%d probe tests over %d victims):\n", tests, len(classified))
+		for _, kind := range []core.CouplingKind{
+			core.KindSingle, core.KindPair, core.KindContentIndependent, core.KindUnknown,
+		} {
+			fmt.Printf("  %-22s %d\n", kind.String()+":", counts[kind])
+		}
+
+		if opts.extended {
+			tail := core.TailGated(classified)
+			if len(tail) == 0 {
+				fmt.Println("\nNo tail-gated victims: no second-order detection possible.")
+			} else {
+				ext, err := tester.DetectExtendedNeighbors(tail, nr.Distances)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("\nSecond-order neighbor detection (%d victims, %d tests):\n",
+					ext.Victims, ext.Tests)
+				fmt.Printf("  second-order distances: %v\n", ext.Distances)
+			}
+		}
+	}
+
+	if opts.profileRet {
+		host2, err := memctl.NewHost(mod, 0)
+		if err != nil {
+			return err
+		}
+		profiler, err := retention.New(host2, retention.Config{MinMs: 64, MaxMs: 4096})
+		if err != nil {
+			return err
+		}
+		chunk := 128
+		if vendor == parbor.VendorToy {
+			chunk = 16
+		}
+		pats, err := patterns.NeighborAware(nr.Distances, chunk)
+		if err != nil {
+			return err
+		}
+		profile, err := profiler.ProfileModule(pats)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nRetention profile (%d tests, neighbor-aware stress):\n", profile.Tests)
+		for _, w := range profile.Waits {
+			if n := profile.Histogram()[w]; n > 0 {
+				fmt.Printf("  first failure at %6.0f ms: %5d rows\n", w, n)
+			}
+		}
+		fmt.Printf("  never failed:             %5d rows\n", profile.Histogram()[retention.NoFailure])
+		fmt.Printf("  weak-row fraction (<256 ms): %.1f%%\n", 100*profile.WeakRowFraction(256))
+	}
+
+	if opts.compareRandom {
+		// Fresh identical module so the baseline sees the same chips.
+		mod2, err := parbor.NewModule(parbor.ModuleConfig{
+			Name:     mod.Name(),
+			Vendor:   vendor,
+			Chips:    chips,
+			Geometry: parbor.Geometry{Banks: 1, Rows: rows, Cols: cols},
+			Coupling: cc,
+			Faults:   parbor.DefaultFaultsConfig(),
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		host2, err := parbor.NewHost(mod2, 0)
+		if err != nil {
+			return err
+		}
+		tester2, err := parbor.NewTester(host2, parbor.DetectConfig{Seed: seed})
+		if err != nil {
+			return err
+		}
+		random := tester2.RandomPatternTest(report.TotalTests())
+		both := report.AllFailures.Intersect(random)
+		fmt.Printf("\nEqual-budget random baseline: %d failures\n", len(random))
+		fmt.Printf("  found only by PARBOR: %d\n", len(report.AllFailures)-both)
+		fmt.Printf("  found only by random: %d\n", len(random)-both)
+		fmt.Printf("  found by both:        %d\n", both)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestParseVendor(t *testing.T) {
+	for name, want := range map[string]string{
+		"a": "A", "B": "B", "c": "C", "linear": "Linear", "TOY": "Toy",
+	} {
+		v, err := parseVendor(name)
+		if err != nil {
+			t.Fatalf("parseVendor(%q): %v", name, err)
+		}
+		if v.String() != want {
+			t.Errorf("parseVendor(%q) = %v, want %s", name, v, want)
+		}
+	}
+	if _, err := parseVendor("samsung"); err == nil {
+		t.Error("unknown vendor accepted")
+	}
+}
+
+func TestRunSmallModule(t *testing.T) {
+	err := run(options{
+		vendorName:    "toy",
+		rows:          64,
+		chips:         1,
+		seed:          7,
+		classify:      true,
+		showMapping:   true,
+		compareRandom: true,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRetentionProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retention sweep")
+	}
+	err := run(options{
+		vendorName: "B",
+		rows:       64,
+		chips:      1,
+		seed:       9,
+		profileRet: true,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+// Dcref-demo shows the paper's new use case (Section 8): refresh
+// reduction driven by data content. It simulates one 8-core workload
+// under the three refresh policies and explains where DC-REF's
+// advantage comes from.
+//
+//	go run ./examples/dcref-demo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parbor"
+)
+
+func main() {
+	// One 8-core mix drawn from the SPEC-like profiles.
+	workload := parbor.Workloads(1, 8, 11)[0]
+	fmt.Println("Workload mix:")
+	for core, app := range workload {
+		fmt.Printf("  core %d: %-12s (MPKI %.1f, content-match prob %.2f)\n",
+			core, app.Name, app.MPKI, app.ContentMatchProb)
+	}
+	fmt.Println()
+
+	type outcome struct {
+		name      string
+		ipc       float64
+		refreshes int64
+		fastFrac  float64
+	}
+	var outs []outcome
+	for _, policy := range parbor.RefreshKinds() {
+		res, err := parbor.RunSim(parbor.SimConfig{
+			Workload: workload,
+			Policy:   policy,
+			Density:  parbor.Density32Gbit,
+			SimNs:    2e6,
+			Seed:     3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := 0.0
+		for _, ipc := range res.IPC {
+			sum += ipc
+		}
+		outs = append(outs, outcome{
+			name:      policy.String(),
+			ipc:       sum,
+			refreshes: res.Refreshes,
+			fastFrac:  res.FastRowFrac,
+		})
+	}
+
+	fmt.Printf("%-16s%12s%12s%16s\n", "Policy", "Sum IPC", "Refreshes", "Fast rows")
+	for _, o := range outs {
+		fmt.Printf("%-16s%12.3f%12d%15.1f%%\n", o.name, o.ipc, o.refreshes, 100*o.fastFrac)
+	}
+
+	base, raidr, dcref := outs[0], outs[1], outs[2]
+	fmt.Printf("\nDC-REF vs baseline: %+.1f%% performance, %.0f%% fewer refreshes\n",
+		100*(dcref.ipc/base.ipc-1), 100*(1-float64(dcref.refreshes)/float64(base.refreshes)))
+	fmt.Printf("DC-REF vs RAIDR:    %+.1f%% performance, %.0f%% fewer refreshes\n",
+		100*(dcref.ipc/raidr.ipc-1), 100*(1-float64(dcref.refreshes)/float64(raidr.refreshes)))
+	fmt.Println("\nWhy: RAIDR must fast-refresh every row containing a weak cell")
+	fmt.Println("(16.4% of rows), forever. DC-REF checks, on each write, whether")
+	fmt.Println("the new content actually recreates the worst-case coupling")
+	fmt.Println("pattern PARBOR identified — and only such rows (a few percent)")
+	fmt.Println("stay on the fast 64 ms interval.")
+}

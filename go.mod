@@ -1,0 +1,3 @@
+module parbor
+
+go 1.22

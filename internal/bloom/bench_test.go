@@ -1,0 +1,27 @@
+package bloom
+
+import "testing"
+
+func BenchmarkAdd(b *testing.B) {
+	f, err := New(1<<20, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f, err := New(1<<20, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(0); i < 10000; i++ {
+		f.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Contains(uint64(i))
+	}
+}

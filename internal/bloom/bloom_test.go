@@ -1,0 +1,111 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := NewWithEstimate(1000, 0.01)
+	if err != nil {
+		t.Fatalf("NewWithEstimate: %v", err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		f.Add(i * 7919)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !f.Contains(i * 7919) {
+			t.Fatalf("false negative for key %d", i*7919)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f, err := NewWithEstimate(10000, 0.01)
+	if err != nil {
+		t.Fatalf("NewWithEstimate: %v", err)
+	}
+	for i := uint64(0); i < 10000; i++ {
+		f.Add(i)
+	}
+	fp := 0
+	const probes = 100000
+	for i := uint64(1 << 32); i < 1<<32+probes; i++ {
+		if f.Contains(i) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Errorf("false-positive rate = %v, want <= ~0.01", rate)
+	}
+	if est := f.EstimatedFPP(); est > 0.02 {
+		t.Errorf("EstimatedFPP = %v, want about 0.01", est)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f, err := New(1024, 4)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	found := 0
+	for i := uint64(0); i < 1000; i++ {
+		if f.Contains(i) {
+			found++
+		}
+	}
+	if found != 0 {
+		t.Errorf("empty filter claimed %d keys", found)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("nbits=0 accepted")
+	}
+	if _, err := New(64, 0); err == nil {
+		t.Error("hashes=0 accepted")
+	}
+	if _, err := New(64, 17); err == nil {
+		t.Error("hashes=17 accepted")
+	}
+	if _, err := NewWithEstimate(0, 0.01); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewWithEstimate(10, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := NewWithEstimate(10, 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+}
+
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f, err := New(1<<16, 5)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	prop := func(key uint64) bool {
+		f.Add(key)
+		return f.Contains(key)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeAndCount(t *testing.T) {
+	f, err := New(128, 2)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if f.SizeBytes() != 16 {
+		t.Errorf("SizeBytes = %d, want 16", f.SizeBytes())
+	}
+	f.Add(1)
+	f.Add(2)
+	if f.Count() != 2 {
+		t.Errorf("Count = %d, want 2", f.Count())
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"parbor/internal/memctl"
+	"parbor/internal/patterns"
+)
+
+// RandomPatternTest is the baseline the paper compares against
+// (Figure 12): per-bit random data patterns, unaware of neighbor
+// locations, run for the given number of passes. It returns every
+// failure observed.
+func (t *Tester) RandomPatternTest(passes int) FailureSet {
+	fails := make(FailureSet)
+	for i := 0; i < passes; i++ {
+		p := patterns.Random(t.cfg.Seed, i)
+		fails.Add(t.host.FullPass(func(r memctl.Row, buf []uint64) {
+			p.Fill(r.Chip, r.Bank, r.Row, buf)
+		}))
+	}
+	return fails
+}
+
+// SimplePatternTest is the all-0s/all-1s test that several prior
+// works assume suffices for detecting data-dependent failures
+// (Section 3, Challenge 2). It performs two passes.
+func (t *Tester) SimplePatternTest() FailureSet {
+	fails := make(FailureSet)
+	solid := patterns.Solid()
+	for _, p := range []patterns.Pattern{solid, solid.Inverse()} {
+		fill := p.Fill
+		fails.Add(t.host.FullPass(func(r memctl.Row, buf []uint64) {
+			fill(r.Chip, r.Bank, r.Row, buf)
+		}))
+	}
+	return fails
+}
+
+// Victim identifies one known data-dependent victim cell for the
+// naive searches below.
+type Victim struct {
+	Row memctl.Row
+	// Col is the victim's bit address within the row.
+	Col int32
+	// FailData is the data value under which the victim fails.
+	FailData uint64
+}
+
+// DiscoverVictims exposes the discovery phase on its own: it returns
+// the victim sample (one per row, capped at the configured sample
+// size), the number of passes used, and all observed failures.
+func (t *Tester) DiscoverVictims() ([]Victim, int, FailureSet) {
+	vs, tests, fails := t.discoverVictims()
+	out := make([]Victim, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, Victim{Row: v.row, Col: v.col, FailData: v.failData})
+	}
+	return out, tests, fails
+}
+
+// LinearNeighborSearch is the O(n) single-victim baseline: it probes
+// every other bit address of the victim's row one at a time and
+// returns the bit distances at which the victim failed (the strongly
+// coupled neighbor locations), plus the number of passes used.
+func (t *Tester) LinearNeighborSearch(v Victim) ([]int, int, error) {
+	rowBits := t.host.Geometry().Cols
+	buf := make([]uint64, t.host.Geometry().Words())
+	addr := memctl.BitAddr{Chip: int16(v.Row.Chip), Bank: int16(v.Row.Bank), Row: int32(v.Row.Row), Col: v.Col}
+	var found []int
+	passes := 0
+	for i := 0; i < rowBits; i++ {
+		if i == int(v.Col) {
+			continue
+		}
+		fillRegionPattern(buf, v.FailData, i, 1, int(v.Col))
+		fails, err := t.host.Pass([]memctl.Row{v.Row}, [][]uint64{buf})
+		passes++
+		if err != nil {
+			return nil, passes, err
+		}
+		for _, a := range fails {
+			if a == addr {
+				found = append(found, i-int(v.Col))
+			}
+		}
+	}
+	return found, passes, nil
+}
+
+// ExhaustivePairSearch is the O(n^2) naive test of Section 3: it
+// probes every combination of two bit addresses in the victim's row
+// and returns the distance pairs under which the victim failed, plus
+// the number of passes. With a pair probe, a weakly coupled victim
+// fails exactly when the pair is its two physical neighbors, which is
+// what makes this test complete — and hopeless at 49 days per 8K row
+// on real hardware (Appendix).
+func (t *Tester) ExhaustivePairSearch(v Victim) ([][2]int, int, error) {
+	rowBits := t.host.Geometry().Cols
+	if rowBits > 4096 {
+		return nil, 0, fmt.Errorf("core: exhaustive pair search on %d-bit rows would take %d passes; use a smaller geometry", rowBits, rowBits*(rowBits-1)/2)
+	}
+	buf := make([]uint64, t.host.Geometry().Words())
+	addr := memctl.BitAddr{Chip: int16(v.Row.Chip), Bank: int16(v.Row.Bank), Row: int32(v.Row.Row), Col: v.Col}
+	var found [][2]int
+	passes := 0
+	for i := 0; i < rowBits; i++ {
+		if i == int(v.Col) {
+			continue
+		}
+		for j := i + 1; j < rowBits; j++ {
+			if j == int(v.Col) {
+				continue
+			}
+			fillRegionPattern(buf, v.FailData, i, 1, int(v.Col))
+			// Complement the second probe bit as well.
+			setBitTo(buf, j, 1-v.FailData)
+			fails, err := t.host.Pass([]memctl.Row{v.Row}, [][]uint64{buf})
+			passes++
+			if err != nil {
+				return nil, passes, err
+			}
+			for _, a := range fails {
+				if a == addr {
+					found = append(found, [2]int{i - int(v.Col), j - int(v.Col)})
+				}
+			}
+		}
+	}
+	return found, passes, nil
+}

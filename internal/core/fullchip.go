@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"parbor/internal/memctl"
+	"parbor/internal/patterns"
+)
+
+// FullChipTest tests every cell of the module for data-dependent
+// failures using neighbor-aware patterns built from the detected
+// distance set (step 5 of Section 5.1). Each pattern is also tested
+// inverted to cover both cell polarities, so the number of tests is
+// twice the pattern-round count. It returns the uncovered failures
+// and the number of passes performed.
+func (t *Tester) FullChipTest(distances []int) (FailureSet, int, error) {
+	if len(distances) == 0 {
+		return nil, 0, fmt.Errorf("core: empty distance set")
+	}
+	chunk := chunkForDistances(distances)
+	pats, err := patterns.NeighborAware(distances, chunk)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: generating neighbor-aware patterns: %w", err)
+	}
+	fails := make(FailureSet)
+	tests := 0
+	for _, p := range pats {
+		for _, pp := range []patterns.Pattern{p, p.Inverse()} {
+			fill := pp.Fill
+			fails.Add(t.host.FullPass(func(r memctl.Row, buf []uint64) {
+				fill(r.Chip, r.Bank, r.Row, buf)
+			}))
+			tests++
+		}
+	}
+	return fails, tests, nil
+}
+
+// chunkForDistances infers the interference-free chunk size from the
+// detected distances: the smallest power-of-two window at least twice
+// the maximum distance (Section 5.2.5: neighbors within ±64 imply
+// 128-bit chunks), with a floor of 16 bits.
+func chunkForDistances(distances []int) int {
+	maxD := 0
+	for _, d := range distances {
+		if d < 0 {
+			d = -d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	chunk := 16
+	for chunk < 2*maxD {
+		chunk *= 2
+	}
+	return chunk
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"parbor/internal/memctl"
+)
+
+// DetectNeighbors runs discovery plus the parallel recursive test and
+// returns the neighbor-location result (steps 1-4 of Section 5.1).
+func (t *Tester) DetectNeighbors() (*NeighborResult, error) {
+	victims, discTests, discovered := t.discoverVictims()
+	if len(victims) == 0 {
+		return nil, fmt.Errorf("core: no data-dependent victim candidates found during discovery")
+	}
+	res := &NeighborResult{
+		SampleSize:        len(victims),
+		DiscoveryTests:    discTests,
+		DiscoveryFailures: discovered,
+	}
+
+	rowBits := t.host.Geometry().Cols
+	sizes := levelSizes(rowBits, t.cfg.FirstSplit, t.cfg.Fanout)
+
+	// Per-victim row buffers, reused across passes.
+	words := t.host.Geometry().Words()
+	bufs := make([][]uint64, len(victims))
+	for i := range bufs {
+		bufs[i] = make([]uint64, words)
+	}
+
+	parentSize := rowBits
+	parentDists := []int{0}
+	for _, size := range sizes {
+		report, err := t.runLevel(victims, bufs, rowBits, parentSize, size, parentDists)
+		if err != nil {
+			return nil, err
+		}
+		res.Levels = append(res.Levels, *report)
+		res.RecursionTests += report.Tests
+		parentSize = size
+		parentDists = report.Distances
+	}
+	res.Distances = parentDists
+	return res, nil
+}
+
+// levelSizes returns the region sizes of each recursion level: the
+// row is split into firstSplit regions at level 1 and each found
+// region is subdivided by fanout at deeper levels, down to single
+// bits. For the paper's 8K rows with firstSplit=2, fanout=8 this is
+// [4096, 512, 64, 8, 1].
+func levelSizes(rowBits, firstSplit, fanout int) []int {
+	var sizes []int
+	s := rowBits / firstSplit
+	if s < 1 {
+		s = 1
+	}
+	for {
+		for s > 1 && rowBits%s != 0 {
+			s--
+		}
+		sizes = append(sizes, s)
+		if s == 1 {
+			return sizes
+		}
+		s /= fanout
+		if s < 1 {
+			s = 1
+		}
+	}
+}
+
+// runLevel performs every region test of one recursion level over all
+// live victims simultaneously, applies marginal-victim filtering, and
+// ranks the observed distances.
+func (t *Tester) runLevel(victims []victimInfo, bufs [][]uint64, rowBits, parentSize, size int, parentDists []int) (*LevelReport, error) {
+	k := parentSize / size
+	nParents := rowBits / parentSize
+
+	passes := 0
+	hits := make([][]int, len(victims)) // region distances at which each victim failed
+
+	// Reused per-pass slices.
+	prows := make([]memctl.Row, 0, len(victims))
+	pdata := make([][]uint64, 0, len(victims))
+	addrToVictim := make(map[memctl.BitAddr]int, len(victims))
+
+	for _, dp := range parentDists {
+		for j := 0; j < k; j++ {
+			prows = prows[:0]
+			pdata = pdata[:0]
+			for key := range addrToVictim {
+				delete(addrToVictim, key)
+			}
+			regionOf := make(map[int]int, 8) // victim index -> absolute region index
+
+			for vi := range victims {
+				v := &victims[vi]
+				if v.dead {
+					continue
+				}
+				parentIdx := int(v.col)/parentSize + dp
+				if parentIdx < 0 || parentIdx >= nParents {
+					continue
+				}
+				rIdx := parentIdx*k + j
+				fillRegionPattern(bufs[vi], v.failData, rIdx*size, size, int(v.col))
+				prows = append(prows, v.row)
+				pdata = append(pdata, bufs[vi])
+				addrToVictim[memctl.BitAddr{
+					Chip: int16(v.row.Chip),
+					Bank: int16(v.row.Bank),
+					Row:  int32(v.row.Row),
+					Col:  v.col,
+				}] = vi
+				regionOf[vi] = rIdx
+			}
+			passes++
+			fails, err := t.host.Pass(prows, pdata)
+			if err != nil {
+				return nil, fmt.Errorf("core: level pass (size %d, parent %+d, sub %d): %w", size, dp, j, err)
+			}
+			for _, a := range fails {
+				vi, ok := addrToVictim[a]
+				if !ok {
+					continue // a flip somewhere other than a sampled victim
+				}
+				d := regionOf[vi] - int(victims[vi].col)/size
+				hits[vi] = append(hits[vi], d)
+			}
+		}
+	}
+
+	// Marginal-victim filtering: a genuine victim fails in at most one
+	// region per level, so a victim exceeding the hit limit is failing
+	// for non-data-dependent reasons; drop it and its findings
+	// (Section 5.2.4, first step).
+	limit := t.cfg.MarginalHitLimit
+	freq := make(map[int]int)
+	for vi := range victims {
+		if victims[vi].dead {
+			continue
+		}
+		if len(hits[vi]) > limit {
+			victims[vi].dead = true
+			continue
+		}
+		for _, d := range hits[vi] {
+			freq[d]++
+		}
+	}
+	if len(freq) == 0 {
+		return nil, fmt.Errorf("core: no victim failed at region size %d; cannot locate neighbors", size)
+	}
+
+	return &LevelReport{
+		RegionSize:  size,
+		Tests:       passes,
+		Frequencies: freq,
+		Distances:   rankDistances(freq, t.cfg.RankThreshold),
+	}, nil
+}
+
+// rankDistances keeps the distances whose frequency is at least
+// threshold times the maximum frequency (Section 5.2.4, second step).
+func rankDistances(freq map[int]int, threshold float64) []int {
+	max := 0
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+	}
+	out := make([]int, 0, len(freq))
+	for d, c := range freq {
+		if float64(c) >= threshold*float64(max) {
+			out = append(out, d)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// fillRegionPattern builds one victim row's test pattern: every bit
+// holds the victim's fail value except the region under test, which
+// holds the complement; the victim bit itself keeps its fail value
+// even when it lies inside the region (Section 5.2.3).
+func fillRegionPattern(buf []uint64, failData uint64, start, size, victimCol int) {
+	fill := uint64(0)
+	if failData != 0 {
+		fill = ^uint64(0)
+	}
+	for i := range buf {
+		buf[i] = fill
+	}
+	end := start + size // exclusive
+	firstWord := start >> 6
+	lastWord := (end - 1) >> 6
+	for w := firstWord; w <= lastWord; w++ {
+		mask := ^uint64(0)
+		if w == firstWord {
+			mask &= ^uint64(0) << (uint(start) & 63)
+		}
+		if w == lastWord {
+			shift := uint(end-1)&63 + 1
+			if shift < 64 {
+				mask &= (uint64(1) << shift) - 1
+			}
+		}
+		buf[w] ^= mask // complement the region bits
+	}
+	setBitTo(buf, victimCol, failData)
+}

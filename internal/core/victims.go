@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sort"
+
+	"parbor/internal/memctl"
+	"parbor/internal/patterns"
+)
+
+// victimInfo is one cell of the initial victim sample.
+type victimInfo struct {
+	row memctl.Row
+	col int32
+	// failData is the data value (0 or 1) that was written to the
+	// cell in the pass where it failed — i.e. the value that leaves
+	// the cell charged. The recursive test writes this value to the
+	// victim and its complement to the region under test.
+	failData uint64
+	// dead marks victims discarded as marginal during recursion.
+	dead bool
+}
+
+// discoverVictims runs the simple discovery patterns (each with its
+// inverse — the paper's 10 initial tests) and assembles the initial
+// victim sample: cells that failed under at least one pattern but not
+// under all of them. Cells failing everywhere are weak/stuck cells,
+// not data-dependent, and are excluded (Section 5.2.1).
+//
+// One victim per row is kept, because the parallel recursive test
+// dedicates each row's data pattern to a single victim.
+func (t *Tester) discoverVictims() ([]victimInfo, int, FailureSet) {
+	base := patterns.DiscoveryPatterns()
+	all := make([]patterns.Pattern, 0, 2*len(base))
+	for _, p := range base {
+		all = append(all, p, p.Inverse())
+	}
+
+	type obs struct {
+		failMask  uint32 // bit i set: failed in pass i
+		firstPass int8
+	}
+	seen := make(map[memctl.BitAddr]*obs)
+	discovered := make(FailureSet)
+
+	for i, p := range all {
+		fails := t.host.FullPass(func(r memctl.Row, buf []uint64) {
+			p.Fill(r.Chip, r.Bank, r.Row, buf)
+		})
+		discovered.Add(fails)
+		for _, a := range fails {
+			o := seen[a]
+			if o == nil {
+				o = &obs{firstPass: int8(i)}
+				seen[a] = o
+			}
+			o.failMask |= 1 << uint(i)
+		}
+	}
+
+	// Keep data-dependent candidates: failed somewhere, passed
+	// somewhere.
+	allMask := uint32(1)<<uint(len(all)) - 1
+	perRow := make(map[memctl.Row]victimInfo)
+	for a, o := range seen {
+		if o.failMask == allMask {
+			continue // stuck or weak cell: fails regardless of content
+		}
+		r := memctl.Row{Chip: int(a.Chip), Bank: int(a.Bank), Row: int(a.Row)}
+		if prev, ok := perRow[r]; ok && prev.col <= a.Col {
+			continue // keep the lowest-column victim per row (deterministic)
+		}
+		buf := make([]uint64, t.host.Geometry().Words())
+		all[o.firstPass].Fill(r.Chip, r.Bank, r.Row, buf)
+		perRow[r] = victimInfo{
+			row:      r,
+			col:      a.Col,
+			failData: bitAt(buf, int(a.Col)),
+		}
+	}
+
+	victims := make([]victimInfo, 0, len(perRow))
+	for _, v := range perRow {
+		victims = append(victims, v)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		a, b := victims[i], victims[j]
+		if a.row.Chip != b.row.Chip {
+			return a.row.Chip < b.row.Chip
+		}
+		if a.row.Bank != b.row.Bank {
+			return a.row.Bank < b.row.Bank
+		}
+		if a.row.Row != b.row.Row {
+			return a.row.Row < b.row.Row
+		}
+		return a.col < b.col
+	})
+	if len(victims) > t.cfg.SampleSize {
+		victims = victims[:t.cfg.SampleSize]
+	}
+	return victims, len(all), discovered
+}
+
+// bitAt returns bit i of a row bitmap.
+func bitAt(words []uint64, i int) uint64 {
+	return (words[i>>6] >> (uint(i) & 63)) & 1
+}
+
+// setBitTo sets bit i of a row bitmap to v.
+func setBitTo(words []uint64, i int, v uint64) {
+	mask := uint64(1) << (uint(i) & 63)
+	if v != 0 {
+		words[i>>6] |= mask
+	} else {
+		words[i>>6] &^= mask
+	}
+}

@@ -1,0 +1,226 @@
+// Package coupling models the process-variation-driven sensitivity of
+// DRAM cells to bitline coupling, the root cause of data-dependent
+// failures (PARBOR paper, Sections 2.3 and 4.1).
+//
+// Each cell is either immune (the overwhelming majority) or a
+// potential victim of one of three classes:
+//
+//   - StrongLeft: fails when the charge of its physical left neighbor
+//     alone is opposite to its own (Figure 6a).
+//   - StrongRight: the symmetric case for the right neighbor.
+//   - Weak: fails only when BOTH neighbors hold the opposite charge
+//     (Figure 6b) — the worst-case pattern.
+//
+// A victim's failure additionally requires that the cell's charge has
+// decayed enough, i.e. that the time since the last write/refresh
+// exceeds the cell's retention threshold under worst-case coupling.
+// The paper's detection experiments run at a 4 s refresh interval
+// precisely so that essentially all coupling-vulnerable cells are
+// past their threshold.
+//
+// Beyond the immediate neighbors, bitline coupling has a tail: the
+// aggregate interference from farther cells on the same bitline group
+// shifts a marginal victim over its failure threshold. We model this
+// with a per-victim Surround level s: the s physically-nearest cells
+// beyond the immediate neighbors (on each side) must also hold the
+// opposite charge for the victim to fail. Victims with large s fail
+// only under solid worst-case surroundings — which neighbor-aware
+// patterns produce by construction and random data essentially never
+// does (the probability halves per surrounding cell). This is the
+// physical mechanism behind Figure 12/13: equal-budget random-pattern
+// tests systematically miss the high-surround victim population.
+package coupling
+
+import (
+	"fmt"
+	"math"
+
+	"parbor/internal/rng"
+)
+
+// Class is the coupling-sensitivity class of a vulnerable cell.
+type Class uint8
+
+// Victim classes. The strong classes exist because of process
+// variation (the paper's first key idea): a strongly coupled cell
+// reveals the location of ONE neighbor with a linear test.
+const (
+	StrongLeft Class = iota + 1
+	StrongRight
+	Weak
+)
+
+// String returns a human-readable class name.
+func (c Class) String() string {
+	switch c {
+	case StrongLeft:
+		return "strong-left"
+	case StrongRight:
+		return "strong-right"
+	case Weak:
+		return "weak"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Victim describes one coupling-vulnerable cell within a row.
+type Victim struct {
+	// Col is the system bit address of the cell within its row.
+	Col int32
+	// Class is the coupling-sensitivity class.
+	Class Class
+	// RetentionMs is the minimum time (in milliseconds) the cell must
+	// sit unrefreshed, under worst-case neighbor content, before the
+	// coupling interference flips it.
+	RetentionMs float32
+	// Surround is the number of additional physically-nearest cells
+	// on each side (beyond the immediate neighbors) that must hold
+	// the opposite charge for the failure to manifest. Zero means the
+	// immediate neighbors alone decide.
+	Surround uint8
+}
+
+// Config parameterizes the process-variation model.
+type Config struct {
+	// VulnerableRate is the probability that a cell is coupling
+	// vulnerable at all. Real chips show ~1e-6..1e-5 at nominal
+	// refresh; the simulator default is larger so that scaled-down
+	// arrays still contain statistically useful victim populations.
+	VulnerableRate float64
+
+	// StrongLeftFrac and StrongRightFrac are the fractions of
+	// vulnerable cells strongly coupled to one side; the remainder is
+	// weakly coupled. Their sum must be <= 1.
+	StrongLeftFrac  float64
+	StrongRightFrac float64
+
+	// RetentionMinMs and RetentionMaxMs bound the log-uniform
+	// distribution of victim retention thresholds. The defaults span
+	// 100 ms .. 3000 ms: all victims manifest at the paper's 4 s test
+	// interval, none at the nominal 64 ms refresh, and a subset in
+	// between — the subset DC-REF exploits.
+	RetentionMinMs float64
+	RetentionMaxMs float64
+
+	// SurroundWeights is the distribution of the per-victim Surround
+	// level: SurroundWeights[s] is the relative weight of level s.
+	// The weights need not sum to one. An empty slice means all
+	// victims are level 0.
+	SurroundWeights []float64
+}
+
+// DefaultConfig returns the model parameters used by the paper
+// reproduction experiments.
+func DefaultConfig() Config {
+	return Config{
+		VulnerableRate:  1e-3,
+		StrongLeftFrac:  0.30,
+		StrongRightFrac: 0.30,
+		RetentionMinMs:  100,
+		RetentionMaxMs:  3000,
+		// Calibrated so that equal-budget random-pattern testing finds
+		// roughly 75-80% of what neighbor-aware testing finds
+		// (Figures 12 and 13). Coupling decays steeply with bitline
+		// distance, so the tail is capped at five extra cells per
+		// side; the deeper levels are essentially unreachable by
+		// random data (probability halves per surrounding cell).
+		SurroundWeights: []float64{
+			0: 0.55,
+			2: 0.15,
+			3: 0.15,
+			5: 0.15,
+		},
+	}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	if c.VulnerableRate < 0 || c.VulnerableRate > 1 {
+		return fmt.Errorf("coupling: VulnerableRate %v out of [0,1]", c.VulnerableRate)
+	}
+	if c.StrongLeftFrac < 0 || c.StrongRightFrac < 0 || c.StrongLeftFrac+c.StrongRightFrac > 1 {
+		return fmt.Errorf("coupling: strong fractions (%v, %v) invalid", c.StrongLeftFrac, c.StrongRightFrac)
+	}
+	if c.RetentionMinMs <= 0 || c.RetentionMaxMs < c.RetentionMinMs {
+		return fmt.Errorf("coupling: retention bounds (%v, %v) invalid", c.RetentionMinMs, c.RetentionMaxMs)
+	}
+	sum := 0.0
+	for i, w := range c.SurroundWeights {
+		if w < 0 {
+			return fmt.Errorf("coupling: SurroundWeights[%d] = %v is negative", i, w)
+		}
+		sum += w
+	}
+	if len(c.SurroundWeights) > 0 && sum <= 0 {
+		return fmt.Errorf("coupling: SurroundWeights sum to zero")
+	}
+	return nil
+}
+
+// RowVictims draws the victim population of one row of cols cells
+// from src. The draw is a Bernoulli process over columns implemented
+// with geometric gap sampling, so the cost is proportional to the
+// number of victims rather than the number of cells.
+func (c Config) RowVictims(src *rng.Source, cols int) []Victim {
+	if c.VulnerableRate <= 0 {
+		return nil
+	}
+	var out []Victim
+	logQ := math.Log1p(-c.VulnerableRate)
+	col := -1
+	for {
+		// Geometric gap: number of immune cells skipped before the
+		// next vulnerable one.
+		u := src.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		gap := int(math.Log(u) / logQ)
+		col += 1 + gap
+		if col >= cols {
+			return out
+		}
+		out = append(out, Victim{
+			Col:         int32(col),
+			Class:       c.drawClass(src),
+			RetentionMs: float32(c.drawRetentionMs(src)),
+			Surround:    c.drawSurround(src),
+		})
+	}
+}
+
+func (c Config) drawClass(src *rng.Source) Class {
+	u := src.Float64()
+	switch {
+	case u < c.StrongLeftFrac:
+		return StrongLeft
+	case u < c.StrongLeftFrac+c.StrongRightFrac:
+		return StrongRight
+	default:
+		return Weak
+	}
+}
+
+func (c Config) drawSurround(src *rng.Source) uint8 {
+	if len(c.SurroundWeights) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, w := range c.SurroundWeights {
+		total += w
+	}
+	u := src.Float64() * total
+	for s, w := range c.SurroundWeights {
+		u -= w
+		if u < 0 {
+			return uint8(s)
+		}
+	}
+	return uint8(len(c.SurroundWeights) - 1)
+}
+
+func (c Config) drawRetentionMs(src *rng.Source) float64 {
+	lo, hi := math.Log(c.RetentionMinMs), math.Log(c.RetentionMaxMs)
+	return math.Exp(lo + (hi-lo)*src.Float64())
+}

@@ -1,0 +1,175 @@
+package coupling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parbor/internal/rng"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig().Validate() = %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := DefaultConfig()
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "negative rate", mutate: func(c *Config) { c.VulnerableRate = -0.1 }},
+		{name: "rate above one", mutate: func(c *Config) { c.VulnerableRate = 1.5 }},
+		{name: "strong fractions above one", mutate: func(c *Config) { c.StrongLeftFrac, c.StrongRightFrac = 0.7, 0.7 }},
+		{name: "negative strong fraction", mutate: func(c *Config) { c.StrongLeftFrac = -0.1 }},
+		{name: "zero retention min", mutate: func(c *Config) { c.RetentionMinMs = 0 }},
+		{name: "inverted retention bounds", mutate: func(c *Config) { c.RetentionMinMs, c.RetentionMaxMs = 10, 5 }},
+		{name: "negative surround weight", mutate: func(c *Config) { c.SurroundWeights = []float64{-1} }},
+		{name: "all-zero surround weights", mutate: func(c *Config) { c.SurroundWeights = []float64{0, 0} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestRowVictimsDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VulnerableRate = 0.01
+	a := cfg.RowVictims(rng.New(7).Split("row"), 8192)
+	b := cfg.RowVictims(rng.New(7).Split("row"), 8192)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("victim %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRowVictimsRate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VulnerableRate = 0.01
+	src := rng.New(42)
+	const (
+		rows = 200
+		cols = 8192
+	)
+	total := 0
+	for r := 0; r < rows; r++ {
+		total += len(cfg.RowVictims(src.SplitN("row", uint64(r)), cols))
+	}
+	want := cfg.VulnerableRate * rows * cols
+	if math.Abs(float64(total)-want) > 0.15*want {
+		t.Errorf("total victims = %d, want about %.0f", total, want)
+	}
+}
+
+func TestRowVictimsClassMix(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VulnerableRate = 0.05
+	src := rng.New(3)
+	counts := map[Class]int{}
+	total := 0
+	for r := 0; r < 100; r++ {
+		for _, v := range cfg.RowVictims(src.SplitN("row", uint64(r)), 8192) {
+			counts[v.Class]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no victims drawn")
+	}
+	for class, wantFrac := range map[Class]float64{
+		StrongLeft:  cfg.StrongLeftFrac,
+		StrongRight: cfg.StrongRightFrac,
+		Weak:        1 - cfg.StrongLeftFrac - cfg.StrongRightFrac,
+	} {
+		got := float64(counts[class]) / float64(total)
+		if math.Abs(got-wantFrac) > 0.05 {
+			t.Errorf("class %v fraction = %.3f, want about %.3f", class, got, wantFrac)
+		}
+	}
+}
+
+func TestRowVictimsProperties(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VulnerableRate = 0.02
+	f := func(seed uint64) bool {
+		const cols = 4096
+		prev := int32(-1)
+		for _, v := range cfg.RowVictims(rng.New(seed), cols) {
+			if v.Col <= prev || v.Col >= cols {
+				return false // must be strictly increasing and in range
+			}
+			prev = v.Col
+			if v.RetentionMs < float32(cfg.RetentionMinMs) || v.RetentionMs > float32(cfg.RetentionMaxMs) {
+				return false
+			}
+			if int(v.Surround) >= len(cfg.SurroundWeights) {
+				return false
+			}
+			switch v.Class {
+			case StrongLeft, StrongRight, Weak:
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowVictimsZeroRate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VulnerableRate = 0
+	if got := cfg.RowVictims(rng.New(1), 8192); got != nil {
+		t.Errorf("RowVictims with zero rate = %v, want nil", got)
+	}
+}
+
+func TestSurroundDistribution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VulnerableRate = 0.05
+	cfg.SurroundWeights = []float64{0.5, 0.5}
+	src := rng.New(11)
+	counts := [2]int{}
+	total := 0
+	for r := 0; r < 200; r++ {
+		for _, v := range cfg.RowVictims(src.SplitN("row", uint64(r)), 8192) {
+			counts[v.Surround]++
+			total++
+		}
+	}
+	frac := float64(counts[0]) / float64(total)
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("surround level 0 fraction = %.3f, want about 0.5", frac)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		class Class
+		want  string
+	}{
+		{class: StrongLeft, want: "strong-left"},
+		{class: StrongRight, want: "strong-right"},
+		{class: Weak, want: "weak"},
+		{class: Class(9), want: "Class(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.class.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.class, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+// Package dram simulates DRAM chips and modules at cell-array
+// granularity, faithfully enough to evaluate system-level detection
+// of data-dependent failures: vendor-scrambled address mapping,
+// coupling-vulnerable victim cells, true/anti cell polarity,
+// retention gating, and the random-failure modes that real chips
+// exhibit (soft errors, VRT, marginal cells, remapped columns).
+//
+// The test host (package memctl) talks to a chip exclusively through
+// WriteRow / Wait / ReadRow — exactly the interface a real memory
+// controller offers — so the PARBOR algorithm in package core cannot
+// accidentally peek at the scrambling or at cell ground truth.
+package dram
+
+import (
+	"fmt"
+
+	"parbor/internal/coupling"
+	"parbor/internal/faults"
+	"parbor/internal/rng"
+	"parbor/internal/scramble"
+)
+
+// ChipConfig assembles everything needed to instantiate a chip.
+type ChipConfig struct {
+	// Geometry is the addressable layout. Defaults to
+	// ExperimentGeometry when zero.
+	Geometry Geometry
+	// Vendor selects the address-scrambling profile.
+	Vendor scramble.Vendor
+	// Mapping, when non-nil, overrides Vendor with a custom
+	// system-to-physical address mapping (see scramble.FromSegments).
+	Mapping *scramble.Mapping
+	// Coupling parameterizes the data-dependent failure model.
+	Coupling coupling.Config
+	// Faults parameterizes the random-failure injectors.
+	Faults faults.Config
+	// Seed makes the chip's process variation reproducible.
+	Seed uint64
+	// Index distinguishes sibling chips within a module so that they
+	// draw independent process variation from the same seed.
+	Index int
+}
+
+// Chip is one simulated DRAM chip.
+//
+// Chip is not safe for concurrent use; experiments parallelize across
+// chips, not within one.
+type Chip struct {
+	geom    Geometry
+	mapping *scramble.Mapping
+	cc      coupling.Config
+	fc      faults.Config
+	root    *rng.Source
+	index   int
+
+	words   int
+	data    []uint64  // all rows, flattened
+	writeAt []float64 // per flat row: sim time (ms) of last write
+	nowMs   float64
+	pass    uint64 // incremented on every Wait; seeds per-pass noise
+
+	meta  []*rowMeta         // lazy per flat row
+	remap map[int32]struct{} // remapped system columns (chip-wide)
+}
+
+// vcell is a coupling victim with its physical neighborhood resolved
+// into system addresses once, at row materialization time.
+type vcell struct {
+	col         int32
+	class       coupling.Class
+	retentionMs float32
+	remapped    bool
+	left        int32   // system address of physical left neighbor, -1 if none
+	right       int32   // system address of physical right neighbor, -1 if none
+	surround    []int32 // cells beyond the immediate neighbors that must be opposite
+}
+
+type rowMeta struct {
+	victims []vcell
+	fcells  []faults.Cell
+	vrtOn   []bool // parallel to fcells; leaky state of VRT cells
+}
+
+// NewChip builds a chip. The chip's process variation (victim
+// placement, classes, retention thresholds, random-fault cells,
+// remapped columns) is fully determined by cfg.Seed and cfg.Index.
+func NewChip(cfg ChipConfig) (*Chip, error) {
+	if cfg.Geometry == (Geometry{}) {
+		cfg.Geometry = ExperimentGeometry()
+	}
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Coupling.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	mapping := cfg.Mapping
+	if mapping == nil {
+		var err error
+		mapping, err = scramble.New(cfg.Vendor)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Geometry.Cols%mapping.ChunkBits() != 0 {
+		return nil, fmt.Errorf("dram: Cols = %d is not a multiple of the %d-bit scrambling chunk",
+			cfg.Geometry.Cols, mapping.ChunkBits())
+	}
+	root := rng.New(cfg.Seed).SplitN("chip", uint64(cfg.Index))
+	c := &Chip{
+		geom:    cfg.Geometry,
+		mapping: mapping,
+		cc:      cfg.Coupling,
+		fc:      cfg.Faults,
+		root:    root,
+		index:   cfg.Index,
+		words:   cfg.Geometry.Words(),
+		data:    make([]uint64, cfg.Geometry.RowCount()*cfg.Geometry.Words()),
+		writeAt: make([]float64, cfg.Geometry.RowCount()),
+		meta:    make([]*rowMeta, cfg.Geometry.RowCount()),
+	}
+	c.remap = cfg.Faults.RemappedColumns(root.Split("remap"), cfg.Geometry.Cols)
+	return c, nil
+}
+
+// Geometry returns the chip's addressable layout.
+func (c *Chip) Geometry() Geometry { return c.geom }
+
+// Vendor returns the chip's scrambling profile.
+func (c *Chip) Vendor() scramble.Vendor { return c.mapping.Vendor() }
+
+// Mapping exposes the ground-truth address mapping. It exists for
+// experiment validation only; the detection algorithm must never
+// consult it.
+func (c *Chip) Mapping() *scramble.Mapping { return c.mapping }
+
+// antiRow reports whether the row stores data inverted (an "anti
+// cell" row, in which data '1' is the discharged state). Real chips
+// alternate polarity between sense-amplifier stripes; we model it per
+// row pair.
+func (c *Chip) antiRow(row int) bool { return (row>>1)&1 == 1 }
+
+// WriteRow stores src (Geometry().Words() words) into the row and
+// restores the row's cells to full charge.
+func (c *Chip) WriteRow(bank, row int, src []uint64) {
+	idx := c.geom.rowIndex(bank, row)
+	copy(c.data[idx*c.words:(idx+1)*c.words], src)
+	c.writeAt[idx] = c.nowMs
+}
+
+// Wait advances simulated time by ms milliseconds. Time only moves
+// through Wait, so a write-wait-read sequence has a well-defined
+// retention interval. Each Wait also begins a new "pass" for the
+// random-failure injectors and re-draws VRT cell states.
+func (c *Chip) Wait(ms float64) {
+	if ms < 0 {
+		panic("dram: negative wait")
+	}
+	c.nowMs += ms
+	c.pass++
+	if c.fc.VRTRate > 0 {
+		src := c.root.SplitN("vrt-toggle", c.pass)
+		for _, m := range c.meta {
+			if m == nil {
+				continue
+			}
+			for i, fcell := range m.fcells {
+				if fcell.Kind == faults.KindVRT {
+					m.vrtOn[i] = src.Bool(c.fc.VRTToggleProb)
+				}
+			}
+		}
+	}
+}
+
+// rowMetaFor lazily materializes the per-row cell population and
+// resolves each victim's physical neighborhood through the mapping.
+func (c *Chip) rowMetaFor(flat int) *rowMeta {
+	if m := c.meta[flat]; m != nil {
+		return m
+	}
+	src := c.root.SplitN("row", uint64(flat))
+	raw := c.cc.RowVictims(src.Split("victims"), c.geom.Cols)
+	m := &rowMeta{
+		victims: make([]vcell, 0, len(raw)),
+		fcells:  c.fc.RowCells(src.Split("faults"), c.geom.Cols),
+	}
+	m.vrtOn = make([]bool, len(m.fcells))
+	for _, v := range raw {
+		vc := vcell{
+			col:         v.Col,
+			class:       v.Class,
+			retentionMs: v.RetentionMs,
+			left:        -1,
+			right:       -1,
+		}
+		if _, ok := c.remap[v.Col]; ok {
+			vc.remapped = true
+		} else {
+			l, r, hasL, hasR := c.mapping.Neighbors(int(v.Col))
+			if hasL {
+				vc.left = int32(l)
+			}
+			if hasR {
+				vc.right = int32(r)
+			}
+			vc.surround = c.surroundCells(int(v.Col), int(v.Surround))
+		}
+		m.victims = append(m.victims, vc)
+	}
+	c.meta[flat] = m
+	return m
+}
+
+// surroundCells walks the physical segment outward from col and
+// returns the system addresses at physical distance 2..s+1 on each
+// side (the immediate neighbors at distance 1 are handled by the
+// victim's class condition).
+func (c *Chip) surroundCells(col, s int) []int32 {
+	if s == 0 {
+		return nil
+	}
+	var out []int32
+	walk := func(leftward bool) {
+		cur := col
+		for step := 0; step < s+1; step++ {
+			l, r, hasL, hasR := c.mapping.Neighbors(cur)
+			var next int
+			if leftward {
+				if !hasL {
+					return
+				}
+				next = l
+			} else {
+				if !hasR {
+					return
+				}
+				next = r
+			}
+			if step >= 1 { // skip the immediate neighbor
+				out = append(out, int32(next))
+			}
+			cur = next
+		}
+	}
+	walk(true)
+	walk(false)
+	return out
+}
+
+// ReadRow reads the row into dst, applying every failure mode whose
+// conditions have been met since the row was last written. The stored
+// data is not modified (the host rewrites rows between passes, as a
+// real test host does).
+func (c *Chip) ReadRow(bank, row int, dst []uint64) {
+	idx := c.geom.rowIndex(bank, row)
+	stored := c.data[idx*c.words : (idx+1)*c.words]
+	copy(dst, stored)
+
+	elapsed := c.nowMs - c.writeAt[idx]
+	if elapsed <= 0 {
+		return
+	}
+	anti := c.antiRow(row)
+	m := c.rowMetaFor(idx)
+
+	for _, v := range m.victims {
+		if elapsed < float64(v.retentionMs) {
+			continue
+		}
+		if c.victimFails(stored, anti, idx, v) {
+			flipBit(dst, int(v.col))
+		}
+	}
+	c.applyRandomFaults(idx, row, elapsed, stored, dst, m)
+}
+
+// charged reports whether the cell at col holds charge, accounting
+// for the row's polarity.
+func charged(words []uint64, col int, anti bool) bool {
+	bit := getBit(words, col) != 0
+	return bit != anti
+}
+
+// victimFails evaluates the coupling failure condition for one victim
+// against the stored row content.
+func (c *Chip) victimFails(stored []uint64, anti bool, flat int, v vcell) bool {
+	if !charged(stored, int(v.col), anti) {
+		// Only charged cells leak toward the opposite value within
+		// the retention window; the inverse test pattern covers the
+		// cells of opposite polarity.
+		return false
+	}
+	if v.remapped {
+		// The redundant cell's physical neighbors are spare columns
+		// outside the system address space: the failure fires
+		// sporadically, independent of written data.
+		src := c.root.SplitN("remap-fail",
+			c.pass<<32|uint64(flat)<<13|uint64(v.col))
+		return src.Bool(c.fc.RemappedFailProb)
+	}
+	leftOpposite := v.left >= 0 && !charged(stored, int(v.left), anti)
+	rightOpposite := v.right >= 0 && !charged(stored, int(v.right), anti)
+	var classFails bool
+	switch v.class {
+	case coupling.StrongLeft:
+		classFails = leftOpposite
+	case coupling.StrongRight:
+		classFails = rightOpposite
+	case coupling.Weak:
+		classFails = leftOpposite && rightOpposite
+	}
+	if !classFails {
+		return false
+	}
+	// Aggregate-interference tail: every surround cell must also be
+	// opposite.
+	for _, sc := range v.surround {
+		if charged(stored, int(sc), anti) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyRandomFaults injects the non-data-dependent failure modes into
+// dst for this read.
+func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []uint64, m *rowMeta) {
+	anti := c.antiRow(row)
+	const (
+		vrtRetentionMs      = 64  // leaky VRT cells fail past one nominal interval
+		marginalRetentionMs = 200 // marginal cells only fail on long waits
+		weakRetentionMs     = 300 // weak cells fail deterministically on long waits
+	)
+	for i, fcell := range m.fcells {
+		col := int(fcell.Col)
+		switch fcell.Kind {
+		case faults.KindVRT:
+			if elapsed >= vrtRetentionMs && m.vrtOn[i] && charged(stored, col, anti) {
+				flipBit(dst, col)
+			}
+		case faults.KindMarginal:
+			if elapsed >= marginalRetentionMs && charged(stored, col, anti) {
+				src := c.root.SplitN("marginal",
+					c.pass<<32|uint64(flat)<<13|uint64(fcell.Col))
+				if src.Bool(c.fc.MarginalFailProb) {
+					flipBit(dst, col)
+				}
+			}
+		case faults.KindWeak:
+			if elapsed >= weakRetentionMs && charged(stored, col, anti) {
+				flipBit(dst, col)
+			}
+		}
+	}
+	if c.fc.SoftErrorPerRowRead > 0 {
+		src := c.root.SplitN("soft", c.pass<<32|uint64(flat))
+		if src.Bool(c.fc.SoftErrorPerRowRead) {
+			flipBit(dst, src.Intn(c.geom.Cols))
+		}
+	}
+}
+
+// AutoRefresh restores full charge on every row except the excluded
+// flat row indices, without altering stored data: the auto-refresh
+// that keeps running for all memory not paused for testing. Host
+// passes invoke it so that only rows actually under test accumulate
+// retention time.
+func (c *Chip) AutoRefresh(except map[int]struct{}) {
+	for idx := range c.writeAt {
+		if _, skip := except[idx]; skip {
+			continue
+		}
+		c.writeAt[idx] = c.nowMs
+	}
+}
+
+// FlatRowIndex converts a (bank, row) pair to the flat index used by
+// AutoRefresh.
+func (c *Chip) FlatRowIndex(bank, row int) int { return c.geom.rowIndex(bank, row) }
+
+// Now returns the chip's simulated clock in milliseconds.
+func (c *Chip) Now() float64 { return c.nowMs }
+
+// TrueVictims exposes the ground-truth victim population of a row for
+// experiment validation and tests.
+func (c *Chip) TrueVictims(bank, row int) []coupling.Victim {
+	src := c.root.SplitN("row", uint64(c.geom.rowIndex(bank, row)))
+	return c.cc.RowVictims(src.Split("victims"), c.geom.Cols)
+}
+
+// RemappedColumns exposes the ground-truth remapped-column set for
+// experiment validation and tests.
+func (c *Chip) RemappedColumns() map[int32]struct{} {
+	out := make(map[int32]struct{}, len(c.remap))
+	for k := range c.remap {
+		out[k] = struct{}{}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package dram
+
+import "fmt"
+
+// Geometry describes the addressable layout of one DRAM chip.
+type Geometry struct {
+	// Banks is the number of banks per chip.
+	Banks int
+	// Rows is the number of rows per bank.
+	Rows int
+	// Cols is the number of cells (bits) per row. The paper's chips
+	// have 8192 cells per row.
+	Cols int
+}
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Banks <= 0 || g.Rows <= 0 || g.Cols <= 0 {
+		return fmt.Errorf("dram: geometry %+v has non-positive dimension", g)
+	}
+	if g.Cols%64 != 0 {
+		return fmt.Errorf("dram: Cols = %d must be a multiple of 64", g.Cols)
+	}
+	return nil
+}
+
+// Words returns the number of 64-bit words per row.
+func (g Geometry) Words() int { return g.Cols / 64 }
+
+// RowCount returns the total number of rows in the chip.
+func (g Geometry) RowCount() int { return g.Banks * g.Rows }
+
+// Bits returns the total number of cells in the chip.
+func (g Geometry) Bits() int64 {
+	return int64(g.Banks) * int64(g.Rows) * int64(g.Cols)
+}
+
+// rowIndex flattens a (bank, row) pair.
+func (g Geometry) rowIndex(bank, row int) int { return bank*g.Rows + row }
+
+// ExperimentGeometry is the scaled-down chip used by the reproduction
+// experiments: real 2 Gbit chips (8 banks x 32K rows x 8K cols) are
+// too large to simulate per-pass, so the experiments use one bank
+// with 2048 full-width rows and proportionally increased failure
+// rates (documented in EXPERIMENTS.md).
+func ExperimentGeometry() Geometry {
+	return Geometry{Banks: 1, Rows: 2048, Cols: 8192}
+}
+
+// SmallGeometry is a reduced geometry for fast unit tests.
+func SmallGeometry() Geometry {
+	return Geometry{Banks: 1, Rows: 128, Cols: 1024}
+}
+
+// getBit returns bit i of the row bitmap.
+func getBit(words []uint64, i int) uint64 {
+	return (words[i>>6] >> (uint(i) & 63)) & 1
+}
+
+// setBit sets bit i of the row bitmap to v (0 or 1).
+func setBit(words []uint64, i int, v uint64) {
+	mask := uint64(1) << (uint(i) & 63)
+	if v != 0 {
+		words[i>>6] |= mask
+	} else {
+		words[i>>6] &^= mask
+	}
+}
+
+// flipBit inverts bit i of the row bitmap.
+func flipBit(words []uint64, i int) {
+	words[i>>6] ^= uint64(1) << (uint(i) & 63)
+}

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"parbor/internal/testtime"
+)
+
+// AppendixRow is one test-time projection.
+type AppendixRow struct {
+	Name       string
+	Projection string
+}
+
+// Appendix reproduces the Appendix's test-time table: naive O(n^k)
+// projections for one 8K-cell row and PARBOR's wall-clock for a 2 GB
+// module.
+func Appendix() []AppendixRow {
+	m := testtime.New()
+	const n = 8192
+	g, chips := testtime.PaperModuleGeometry()
+
+	linear, _ := m.NaiveSearch(n, 1)
+	pairs, _ := m.NaiveSearch(n, 2)
+	rows := []AppendixRow{
+		{Name: "O(n) linear search, one row", Projection: fmtDur(linear)},
+		{Name: "O(n^2) pairwise search, one row", Projection: fmt.Sprintf("%.0f days (paper: 49 days)", pairs.Hours()/24)},
+		{Name: "O(n^3) three-neighbor search", Projection: fmt.Sprintf("%.0f years (paper: 1115 years)", m.NaiveSearchYears(n, 3))},
+		{Name: "O(n^4) four-neighbor search", Projection: fmt.Sprintf("%.2gM years (paper: 9.1M years)", m.NaiveSearchYears(n, 4)/1e6)},
+		{Name: "PARBOR, 92 tests, 2GB module", Projection: fmtDur(m.ParborTime(g, chips, 92))},
+		{Name: "PARBOR, 132 tests, 2GB module", Projection: fmtDur(m.ParborTime(g, chips, 132))},
+		{Name: "Speedup vs O(n), 90 tests", Projection: fmt.Sprintf("%.0fX (paper: 90X)", testtime.SpeedupVsLinear(n, 90))},
+		{Name: "Speedup vs O(n^2), 90 tests", Projection: fmt.Sprintf("%.0fX (paper: 745,654X)", testtime.SpeedupVsPairwise(n, 90))},
+	}
+	return rows
+}
+
+func fmtDur(d time.Duration) string { return d.Round(10 * time.Millisecond).String() }
+
+// FormatAppendix renders the projections.
+func FormatAppendix(rows []AppendixRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Appendix: test-time projections (DDR3-1600, 64 ms waits)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-36s %s\n", r.Name, r.Projection)
+	}
+	return b.String()
+}

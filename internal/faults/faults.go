@@ -1,0 +1,166 @@
+// Package faults models the non-data-dependent DRAM failure modes
+// that interfere with system-level detection of data-dependent
+// failures (PARBOR paper, Sections 5.2.1 and 5.2.4):
+//
+//   - soft errors: random transient bit flips (particle strikes),
+//   - VRT cells: variable-retention-time cells that toggle between a
+//     healthy and a leaky state,
+//   - marginal cells: cells holding barely enough charge, which fail
+//     intermittently near the end of the refresh interval,
+//   - weak cells: cells that reliably fail at a long refresh interval
+//     regardless of neighbor content,
+//   - remapped columns: faulty columns steered to redundant columns
+//     whose physical neighborhoods do not follow the regular mapping.
+//
+// These are exactly the noise sources PARBOR's ranking/filtering
+// stage must be robust to, and the source of the "detected only by
+// random tests" slice of Figure 13.
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"parbor/internal/rng"
+)
+
+// Config parameterizes the random-failure injectors.
+type Config struct {
+	// SoftErrorPerRowRead is the probability that a read of one row
+	// observes one extra random bit flip.
+	SoftErrorPerRowRead float64
+
+	// VRTRate is the per-cell probability of being a VRT cell, and
+	// VRTToggleProb the per-pass probability that a VRT cell is in
+	// its leaky state (in which it fails like a weak cell).
+	VRTRate       float64
+	VRTToggleProb float64
+
+	// MarginalRate is the per-cell probability of being marginal, and
+	// MarginalFailProb the per-pass probability that a marginal cell
+	// flips when read after a long retention wait.
+	MarginalRate     float64
+	MarginalFailProb float64
+
+	// WeakCellRate is the per-cell probability of failing
+	// deterministically at a long refresh interval regardless of the
+	// data content of its neighbors.
+	WeakCellRate float64
+
+	// RemappedColumnRate is the per-column probability that the
+	// column is served by a redundant column with an irregular
+	// physical neighborhood (Section 7.3, "Limitation"). The
+	// redundant cell's physical neighbors are other spare columns
+	// whose content is not system-addressable, so a coupling victim
+	// in a remapped column fails sporadically — with probability
+	// RemappedFailProb per long-wait pass — independent of any data
+	// pattern the host writes.
+	RemappedColumnRate float64
+	RemappedFailProb   float64
+}
+
+// DefaultConfig returns the injector rates used by the paper
+// reproduction experiments. The rates are scaled for the simulator's
+// reduced array sizes (see EXPERIMENTS.md).
+func DefaultConfig() Config {
+	return Config{
+		SoftErrorPerRowRead: 2e-4,
+		VRTRate:             2e-5,
+		VRTToggleProb:       0.3,
+		MarginalRate:        2e-5,
+		MarginalFailProb:    0.4,
+		WeakCellRate:        1e-5,
+		RemappedColumnRate:  1e-3,
+		RemappedFailProb:    0.3,
+	}
+}
+
+// Validate reports whether all rates are probabilities.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{name: "SoftErrorPerRowRead", v: c.SoftErrorPerRowRead},
+		{name: "VRTRate", v: c.VRTRate},
+		{name: "VRTToggleProb", v: c.VRTToggleProb},
+		{name: "MarginalRate", v: c.MarginalRate},
+		{name: "MarginalFailProb", v: c.MarginalFailProb},
+		{name: "WeakCellRate", v: c.WeakCellRate},
+		{name: "RemappedColumnRate", v: c.RemappedColumnRate},
+		{name: "RemappedFailProb", v: c.RemappedFailProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s = %v out of [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// CellKind marks the static random-failure role of a cell.
+type CellKind uint8
+
+// Cell kinds drawn per row by RowCells.
+const (
+	KindVRT CellKind = iota + 1
+	KindMarginal
+	KindWeak
+)
+
+// Cell is one statically faulty (but not data-dependent) cell.
+type Cell struct {
+	Col  int32
+	Kind CellKind
+}
+
+// RowCells draws the static random-failure cells of one row using
+// geometric gap sampling per kind.
+func (c Config) RowCells(src *rng.Source, cols int) []Cell {
+	var out []Cell
+	out = sampleKind(out, src.Split("vrt"), cols, c.VRTRate, KindVRT)
+	out = sampleKind(out, src.Split("marginal"), cols, c.MarginalRate, KindMarginal)
+	out = sampleKind(out, src.Split("weak"), cols, c.WeakCellRate, KindWeak)
+	return out
+}
+
+func sampleKind(out []Cell, src *rng.Source, cols int, rate float64, kind CellKind) []Cell {
+	if rate <= 0 {
+		return out
+	}
+	logQ := math.Log1p(-rate)
+	col := -1
+	for {
+		u := src.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		col += 1 + int(math.Log(u)/logQ)
+		if col >= cols {
+			return out
+		}
+		out = append(out, Cell{Col: int32(col), Kind: kind})
+	}
+}
+
+// RemappedColumns draws the set of remapped system column addresses
+// for a chip with the given row width. Column remapping replaces the
+// whole column across the array, so the set is chip-wide.
+func (c Config) RemappedColumns(src *rng.Source, cols int) map[int32]struct{} {
+	if c.RemappedColumnRate <= 0 {
+		return nil
+	}
+	out := make(map[int32]struct{})
+	logQ := math.Log1p(-c.RemappedColumnRate)
+	col := -1
+	for {
+		u := src.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		col += 1 + int(math.Log(u)/logQ)
+		if col >= cols {
+			return out
+		}
+		out[int32(col)] = struct{}{}
+	}
+}

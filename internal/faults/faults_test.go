@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"parbor/internal/rng"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig().Validate() = %v", err)
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VRTToggleProb = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate() = nil, want error")
+	}
+	cfg = DefaultConfig()
+	cfg.SoftErrorPerRowRead = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate() = nil, want error")
+	}
+}
+
+func TestRowCellsRates(t *testing.T) {
+	cfg := Config{
+		VRTRate:      0.005,
+		MarginalRate: 0.002,
+		WeakCellRate: 0.001,
+	}
+	src := rng.New(5)
+	counts := map[CellKind]int{}
+	const (
+		rows = 300
+		cols = 8192
+	)
+	for r := 0; r < rows; r++ {
+		for _, cell := range cfg.RowCells(src.SplitN("row", uint64(r)), cols) {
+			if cell.Col < 0 || cell.Col >= cols {
+				t.Fatalf("cell col %d out of range", cell.Col)
+			}
+			counts[cell.Kind]++
+		}
+	}
+	for kind, rate := range map[CellKind]float64{
+		KindVRT:      cfg.VRTRate,
+		KindMarginal: cfg.MarginalRate,
+		KindWeak:     cfg.WeakCellRate,
+	} {
+		want := rate * rows * cols
+		got := float64(counts[kind])
+		if math.Abs(got-want) > 0.2*want {
+			t.Errorf("kind %d: count = %.0f, want about %.0f", kind, got, want)
+		}
+	}
+}
+
+func TestRowCellsZeroRates(t *testing.T) {
+	var cfg Config
+	if got := cfg.RowCells(rng.New(1), 8192); len(got) != 0 {
+		t.Errorf("RowCells with zero rates = %v, want empty", got)
+	}
+}
+
+func TestRowCellsDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VRTRate = 0.01
+	a := cfg.RowCells(rng.New(9), 8192)
+	b := cfg.RowCells(rng.New(9), 8192)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRemappedColumns(t *testing.T) {
+	cfg := Config{RemappedColumnRate: 0.01}
+	cols := cfg.RemappedColumns(rng.New(2), 8192)
+	want := 0.01 * 8192
+	if got := float64(len(cols)); math.Abs(got-want) > 0.5*want {
+		t.Errorf("remapped columns = %.0f, want about %.0f", got, want)
+	}
+	for col := range cols {
+		if col < 0 || col >= 8192 {
+			t.Errorf("remapped column %d out of range", col)
+		}
+	}
+}
+
+func TestRemappedColumnsZeroRate(t *testing.T) {
+	var cfg Config
+	if got := cfg.RemappedColumns(rng.New(1), 8192); got != nil {
+		t.Errorf("RemappedColumns with zero rate = %v, want nil", got)
+	}
+}

@@ -1,0 +1,251 @@
+// Package memctl implements the system-level test host: the software
+// that drives write-wait-read test passes against a DRAM module
+// through the memory controller, counts tests, and estimates their
+// wall-clock cost with the DDR3 timing model of the paper's Appendix.
+//
+// The host deliberately exposes only what a real memory controller
+// exposes — row writes, a retention wait, and read-back mismatch
+// detection. The detection algorithm (package core) runs entirely on
+// top of this interface and therefore cannot cheat by inspecting the
+// simulated chip's internals.
+package memctl
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"parbor/internal/dram"
+)
+
+// Row identifies one row of one chip in the module.
+type Row struct {
+	Chip int
+	Bank int
+	Row  int
+}
+
+// BitAddr identifies one cell in the module by system address.
+type BitAddr struct {
+	Chip int16
+	Bank int16
+	Row  int32
+	Col  int32
+}
+
+// Host drives test passes against a module.
+//
+// Host is not safe for concurrent use.
+type Host struct {
+	mod    *dram.Module
+	waitMs float64
+	passes int
+
+	scratch []uint64
+}
+
+// DefaultWaitMs is the retention wait used by the paper's detection
+// experiments: a 4 s refresh interval (4 s at 45 degC corresponds to
+// 328 ms at 85 degC), which ensures cells hold minimal charge when
+// read and all coupling-vulnerable cells are past their thresholds.
+const DefaultWaitMs = 4000
+
+// NewHost wraps a module. waitMs is the retention wait applied
+// between the write and read halves of every pass; zero selects
+// DefaultWaitMs.
+func NewHost(mod *dram.Module, waitMs float64) (*Host, error) {
+	if mod == nil {
+		return nil, fmt.Errorf("memctl: nil module")
+	}
+	if waitMs == 0 {
+		waitMs = DefaultWaitMs
+	}
+	if waitMs < 0 {
+		return nil, fmt.Errorf("memctl: negative wait %v", waitMs)
+	}
+	return &Host{
+		mod:     mod,
+		waitMs:  waitMs,
+		scratch: make([]uint64, mod.Geometry().Words()),
+	}, nil
+}
+
+// Geometry returns the per-chip layout of the module under test.
+func (h *Host) Geometry() dram.Geometry { return h.mod.Geometry() }
+
+// Chips returns the number of chips in the module.
+func (h *Host) Chips() int { return h.mod.Chips() }
+
+// Passes returns the number of write-wait-read test passes performed
+// so far. This is the paper's "number of tests".
+func (h *Host) Passes() int { return h.passes }
+
+// WaitMs returns the configured retention wait in milliseconds.
+func (h *Host) WaitMs() float64 { return h.waitMs }
+
+// Pass writes data[i] to rows[i], waits the retention interval, reads
+// the rows back and returns every mismatched bit address. It counts
+// as one test regardless of how many rows it touches: on real
+// hardware all rows are written back-to-back and share the single
+// retention wait (this is what makes PARBOR's parallel-row testing
+// cheap, Section 4.2).
+func (h *Host) Pass(rows []Row, data [][]uint64) ([]BitAddr, error) {
+	return h.PassWithWait(rows, data, h.waitMs)
+}
+
+// PassWithWait is Pass with an explicit retention wait, used by
+// retention-time profiling (package retention), which sweeps the wait
+// instead of testing at one fixed interval.
+func (h *Host) PassWithWait(rows []Row, data [][]uint64, waitMs float64) ([]BitAddr, error) {
+	if len(rows) != len(data) {
+		return nil, fmt.Errorf("memctl: %d rows but %d data buffers", len(rows), len(data))
+	}
+	if waitMs < 0 {
+		return nil, fmt.Errorf("memctl: negative wait %v", waitMs)
+	}
+	words := h.mod.Geometry().Words()
+	for i, r := range rows {
+		if len(data[i]) != words {
+			return nil, fmt.Errorf("memctl: row %d: data has %d words, want %d", i, len(data[i]), words)
+		}
+		h.mod.Chip(r.Chip).WriteRow(r.Bank, r.Row, data[i])
+	}
+	h.mod.Wait(waitMs)
+	h.autoRefreshExcept(rows)
+	h.passes++
+
+	var fails []BitAddr
+	for i, r := range rows {
+		h.mod.Chip(r.Chip).ReadRow(r.Bank, r.Row, h.scratch)
+		fails = h.appendMismatches(fails, r, data[i])
+	}
+	return fails, nil
+}
+
+// autoRefreshExcept models the auto-refresh that keeps running for
+// every row not paused for the current test: those rows never
+// accumulate retention time across passes. The rows under test are
+// excluded — their decay is the point of the wait.
+func (h *Host) autoRefreshExcept(rows []Row) {
+	perChip := make(map[int]map[int]struct{})
+	for _, r := range rows {
+		m := perChip[r.Chip]
+		if m == nil {
+			m = make(map[int]struct{})
+			perChip[r.Chip] = m
+		}
+		m[h.mod.Chip(r.Chip).FlatRowIndex(r.Bank, r.Row)] = struct{}{}
+	}
+	for chip := 0; chip < h.mod.Chips(); chip++ {
+		h.mod.Chip(chip).AutoRefresh(perChip[chip])
+	}
+}
+
+// ReadRowInto reads a row's current contents into dst without any
+// retention wait — the plain load path, used e.g. to save live data
+// before an online test epoch (package onlinetest).
+func (h *Host) ReadRowInto(r Row, dst []uint64) error {
+	if len(dst) != h.mod.Geometry().Words() {
+		return fmt.Errorf("memctl: dst has %d words, want %d", len(dst), h.mod.Geometry().Words())
+	}
+	h.mod.Chip(r.Chip).ReadRow(r.Bank, r.Row, dst)
+	return nil
+}
+
+// Verify waits, then reads the rows and diffs them against expected —
+// without writing first. Test sequences whose semantics separate
+// writes from delayed reads (March elements, package march) need
+// this; Pass would re-charge the cells and mask retention failures.
+// It counts as one test.
+func (h *Host) Verify(rows []Row, expected [][]uint64, waitMs float64) ([]BitAddr, error) {
+	if len(rows) != len(expected) {
+		return nil, fmt.Errorf("memctl: %d rows but %d expected buffers", len(rows), len(expected))
+	}
+	if waitMs < 0 {
+		return nil, fmt.Errorf("memctl: negative wait %v", waitMs)
+	}
+	words := h.mod.Geometry().Words()
+	for i := range expected {
+		if len(expected[i]) != words {
+			return nil, fmt.Errorf("memctl: row %d: expected has %d words, want %d", i, len(expected[i]), words)
+		}
+	}
+	if waitMs > 0 {
+		h.mod.Wait(waitMs)
+		h.autoRefreshExcept(rows)
+	}
+	h.passes++
+	var fails []BitAddr
+	for i, r := range rows {
+		h.mod.Chip(r.Chip).ReadRow(r.Bank, r.Row, h.scratch)
+		fails = h.appendMismatches(fails, r, expected[i])
+	}
+	return fails, nil
+}
+
+// FullPass writes a generated pattern to every row of every chip,
+// waits, reads everything back, and returns the mismatched bit
+// addresses. gen must be deterministic: it is invoked again during
+// the compare phase. It counts as one test.
+func (h *Host) FullPass(gen func(r Row, buf []uint64)) []BitAddr {
+	return h.FullPassWithWait(gen, h.waitMs)
+}
+
+// FullPassWithWait is FullPass with an explicit retention wait.
+func (h *Host) FullPassWithWait(gen func(r Row, buf []uint64), waitMs float64) []BitAddr {
+	g := h.mod.Geometry()
+	buf := make([]uint64, g.Words())
+	h.forEachRow(func(r Row) {
+		gen(r, buf)
+		h.mod.Chip(r.Chip).WriteRow(r.Bank, r.Row, buf)
+	})
+	h.mod.Wait(waitMs)
+	h.passes++
+
+	var fails []BitAddr
+	h.forEachRow(func(r Row) {
+		gen(r, buf)
+		h.mod.Chip(r.Chip).ReadRow(r.Bank, r.Row, h.scratch)
+		fails = h.appendMismatches(fails, r, buf)
+	})
+	return fails
+}
+
+func (h *Host) forEachRow(fn func(r Row)) {
+	g := h.mod.Geometry()
+	for chip := 0; chip < h.mod.Chips(); chip++ {
+		for bank := 0; bank < g.Banks; bank++ {
+			for row := 0; row < g.Rows; row++ {
+				fn(Row{Chip: chip, Bank: bank, Row: row})
+			}
+		}
+	}
+}
+
+// appendMismatches diffs the read-back scratch buffer against want
+// and appends one BitAddr per flipped bit.
+func (h *Host) appendMismatches(fails []BitAddr, r Row, want []uint64) []BitAddr {
+	for w, got := range h.scratch {
+		diff := got ^ want[w]
+		for diff != 0 {
+			bit := bits.TrailingZeros64(diff)
+			fails = append(fails, BitAddr{
+				Chip: int16(r.Chip),
+				Bank: int16(r.Bank),
+				Row:  int32(r.Row),
+				Col:  int32(w*64 + bit),
+			})
+			diff &= diff - 1
+		}
+	}
+	return fails
+}
+
+// TimeEstimate returns the wall-clock duration the passes performed
+// so far would take on real hardware, per the Appendix model: each
+// pass writes the module, waits the refresh interval, and reads the
+// module back.
+func (h *Host) TimeEstimate(t Timing) time.Duration {
+	per := t.ModulePassTime(h.mod.Geometry(), h.mod.Chips(), h.waitMs)
+	return time.Duration(h.passes) * per
+}

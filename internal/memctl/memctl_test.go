@@ -1,0 +1,169 @@
+package memctl
+
+import (
+	"testing"
+	"time"
+
+	"parbor/internal/coupling"
+	"parbor/internal/dram"
+	"parbor/internal/faults"
+	"parbor/internal/scramble"
+)
+
+func cleanModule(t *testing.T) *dram.Module {
+	t.Helper()
+	mod, err := dram.NewModule(dram.ModuleConfig{
+		Vendor:   scramble.VendorA,
+		Chips:    2,
+		Geometry: dram.Geometry{Banks: 1, Rows: 16, Cols: 1024},
+		Coupling: coupling.Config{VulnerableRate: 0, RetentionMinMs: 1, RetentionMaxMs: 1},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatalf("NewModule: %v", err)
+	}
+	return mod
+}
+
+func weakModule(t *testing.T) *dram.Module {
+	t.Helper()
+	mod, err := dram.NewModule(dram.ModuleConfig{
+		Vendor:   scramble.VendorA,
+		Chips:    1,
+		Geometry: dram.Geometry{Banks: 1, Rows: 64, Cols: 1024},
+		Coupling: coupling.Config{VulnerableRate: 0, RetentionMinMs: 1, RetentionMaxMs: 1},
+		Faults:   faults.Config{WeakCellRate: 0.01},
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatalf("NewModule: %v", err)
+	}
+	return mod
+}
+
+func TestPassNoFailuresOnCleanModule(t *testing.T) {
+	host, err := NewHost(cleanModule(t), 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	data := make([]uint64, host.Geometry().Words())
+	for i := range data {
+		data[i] = 0xdeadbeefcafef00d
+	}
+	fails, err := host.Pass(
+		[]Row{{Chip: 0, Bank: 0, Row: 3}, {Chip: 1, Bank: 0, Row: 5}},
+		[][]uint64{data, data},
+	)
+	if err != nil {
+		t.Fatalf("Pass: %v", err)
+	}
+	if len(fails) != 0 {
+		t.Errorf("clean module produced %d failures", len(fails))
+	}
+	if host.Passes() != 1 {
+		t.Errorf("Passes() = %d, want 1", host.Passes())
+	}
+}
+
+func TestFullPassDetectsWeakCells(t *testing.T) {
+	host, err := NewHost(weakModule(t), 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	// All-ones charges every true-cell row; weak cells in those rows
+	// must flip and be reported with correct addresses.
+	fails := host.FullPass(func(_ Row, buf []uint64) {
+		for i := range buf {
+			buf[i] = ^uint64(0)
+		}
+	})
+	if len(fails) == 0 {
+		t.Fatal("no failures detected on module with 1% weak cells")
+	}
+	g := host.Geometry()
+	for _, f := range fails {
+		if f.Chip != 0 || f.Bank != 0 || int(f.Row) >= g.Rows || int(f.Col) >= g.Cols {
+			t.Fatalf("failure address out of range: %+v", f)
+		}
+	}
+}
+
+func TestPassValidation(t *testing.T) {
+	host, err := NewHost(cleanModule(t), 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	if _, err := host.Pass([]Row{{}}, nil); err == nil {
+		t.Error("mismatched rows/data accepted")
+	}
+	if _, err := host.Pass([]Row{{}}, [][]uint64{make([]uint64, 3)}); err == nil {
+		t.Error("short data buffer accepted")
+	}
+}
+
+func TestNewHostValidation(t *testing.T) {
+	if _, err := NewHost(nil, 0); err == nil {
+		t.Error("nil module accepted")
+	}
+	if _, err := NewHost(cleanModule(t), -5); err == nil {
+		t.Error("negative wait accepted")
+	}
+}
+
+func TestHostDefaults(t *testing.T) {
+	host, err := NewHost(cleanModule(t), 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	if host.WaitMs() != DefaultWaitMs {
+		t.Errorf("WaitMs() = %v, want %v", host.WaitMs(), DefaultWaitMs)
+	}
+	if host.Chips() != 2 {
+		t.Errorf("Chips() = %d, want 2", host.Chips())
+	}
+}
+
+// TestAppendixTimingNumbers pins the Appendix arithmetic: a 2 GB
+// module (8 chips, 8 banks x 32K rows x 8K cols) takes 667.5 ns per
+// row, 174.98 ms per sweep and 413.96 ms per 64 ms pass.
+func TestAppendixTimingNumbers(t *testing.T) {
+	tm := DDR3_1600()
+
+	if got := tm.RowAccessTime(8192); got < 667*time.Nanosecond || got > 668*time.Nanosecond {
+		t.Errorf("RowAccessTime(8KB) = %v, want 667.5ns", got)
+	}
+	if got := tm.TwoBlockAccessTime(); got < 37*time.Nanosecond || got > 38*time.Nanosecond {
+		t.Errorf("TwoBlockAccessTime() = %v, want 37.5ns", got)
+	}
+
+	paperGeom := dram.Geometry{Banks: 8, Rows: 32768, Cols: 8192}
+	pass := tm.ModulePassTime(paperGeom, 8, 64)
+	if pass < 413*time.Millisecond || pass > 415*time.Millisecond {
+		t.Errorf("ModulePassTime = %v, want about 413.96ms", pass)
+	}
+
+	// 92 and 132 tests must land on the paper's 38-55 s range.
+	if lo := 92 * pass; lo < 36*time.Second || lo > 40*time.Second {
+		t.Errorf("92 passes = %v, want about 38s", lo)
+	}
+	if hi := 132 * pass; hi < 53*time.Second || hi > 57*time.Second {
+		t.Errorf("132 passes = %v, want about 55s", hi)
+	}
+}
+
+func TestTimeEstimateCountsPasses(t *testing.T) {
+	host, err := NewHost(cleanModule(t), 64)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	data := make([]uint64, host.Geometry().Words())
+	for i := 0; i < 3; i++ {
+		if _, err := host.Pass([]Row{{Chip: 0, Bank: 0, Row: 0}}, [][]uint64{data}); err != nil {
+			t.Fatalf("Pass: %v", err)
+		}
+	}
+	per := DDR3_1600().ModulePassTime(host.Geometry(), host.Chips(), 64)
+	if got, want := host.TimeEstimate(DDR3_1600()), 3*per; got != want {
+		t.Errorf("TimeEstimate = %v, want %v", got, want)
+	}
+}

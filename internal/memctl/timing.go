@@ -1,0 +1,57 @@
+package memctl
+
+import (
+	"time"
+
+	"parbor/internal/dram"
+)
+
+// Timing holds the DRAM command timing constants used by the
+// Appendix's test-time model. All values are in nanoseconds.
+type Timing struct {
+	// TRCD is the activate-to-read/write delay.
+	TRCD float64
+	// TCCD is the column-to-column delay (per 64-byte burst).
+	TCCD float64
+	// TRP is the precharge delay.
+	TRP float64
+}
+
+// DDR3_1600 is the timing the paper uses (Appendix): tRCD = tRP =
+// 13.75 ns, tCCD = 5 ns.
+func DDR3_1600() Timing {
+	return Timing{TRCD: 13.75, TCCD: 5, TRP: 13.75}
+}
+
+// RowAccessTime returns the time to stream one module row of
+// rowBytes through the controller: tRCD + tCCD per 64-byte cache
+// block + tRP. For an 8 KB module row this is the Appendix's
+// 13.75 + 5*128 + 13.75 = 667.5 ns.
+func (t Timing) RowAccessTime(rowBytes int) time.Duration {
+	blocks := float64(rowBytes) / 64
+	ns := t.TRCD + t.TCCD*blocks + t.TRP
+	return time.Duration(ns * float64(time.Nanosecond))
+}
+
+// TwoBlockAccessTime returns the time to read or write two cache
+// blocks of one row (the unit of the naive pairwise test): tRCD +
+// 2*tCCD + tRP = 37.5 ns for DDR3-1600. (The paper's Appendix prints
+// 42.5 ns for the same expression — an arithmetic slip that is
+// irrelevant next to the 64 ms retention wait dominating each test.)
+func (t Timing) TwoBlockAccessTime() time.Duration {
+	ns := t.TRCD + 2*t.TCCD + t.TRP
+	return time.Duration(ns * float64(time.Nanosecond))
+}
+
+// ModulePassTime returns the wall-clock duration of one write-wait-
+// read pass over a whole module: write every row, wait the retention
+// interval, read every row. A module row spans all chips, so its
+// size is chips * per-chip row bits.
+func (t Timing) ModulePassTime(g dram.Geometry, chips int, waitMs float64) time.Duration {
+	rowBytes := chips * g.Cols / 8
+	perRow := t.RowAccessTime(rowBytes)
+	rows := g.RowCount()
+	sweep := time.Duration(rows) * perRow
+	wait := time.Duration(waitMs * float64(time.Millisecond))
+	return 2*sweep + wait
+}

@@ -1,0 +1,204 @@
+// Package onlinetest schedules PARBOR-style data-dependent failure
+// testing while the system is in operation — the deployment setting
+// the paper targets ("detect and mitigate DRAM failures in the field,
+// while the system is under operation", Section 1).
+//
+// Testing a region requires writing test patterns over it, so live
+// data must survive. The scheduler works in epochs: each epoch it
+// picks the next slice of rows (round-robin over the module), saves
+// their contents through the memory controller, runs the
+// neighbor-aware worst-case patterns against just those rows, restores
+// the contents, and accumulates the discovered failures. The epoch
+// budget bounds how many rows are out of service at a time, so the
+// performance impact per refresh window stays fixed and full-module
+// coverage builds up over many epochs.
+//
+// Because cells fail and recover over time (VRT, Section 5.2.1), the
+// scheduler keeps testing after full coverage: a round counter tracks
+// complete sweeps, and the failure set distinguishes everything ever
+// seen from what the most recent sweep saw.
+package onlinetest
+
+import (
+	"fmt"
+
+	"parbor/internal/memctl"
+	"parbor/internal/patterns"
+)
+
+// Config tunes the scheduler.
+type Config struct {
+	// Distances is the neighbor-distance set from a prior PARBOR
+	// detection run.
+	Distances []int
+	// ChunkBits is the scrambling chunk size (128 for the vendor
+	// profiles).
+	ChunkBits int
+	// RowsPerEpoch is how many rows are taken out of service and
+	// tested per epoch. Default 8.
+	RowsPerEpoch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RowsPerEpoch == 0 {
+		c.RowsPerEpoch = 8
+	}
+	if c.ChunkBits == 0 {
+		c.ChunkBits = 128
+	}
+	return c
+}
+
+// Scheduler runs online test epochs against a module.
+type Scheduler struct {
+	host *memctl.Host
+	cfg  Config
+	pats []patterns.Pattern
+
+	rows   []memctl.Row
+	cursor int
+	rounds int
+
+	everSeen  map[memctl.BitAddr]struct{}
+	sweepSeen map[memctl.BitAddr]struct{}
+	tests     int
+}
+
+// New builds a scheduler.
+func New(host *memctl.Host, cfg Config) (*Scheduler, error) {
+	if host == nil {
+		return nil, fmt.Errorf("onlinetest: nil host")
+	}
+	cfg = cfg.withDefaults()
+	if len(cfg.Distances) == 0 {
+		return nil, fmt.Errorf("onlinetest: empty distance set")
+	}
+	if cfg.RowsPerEpoch < 1 {
+		return nil, fmt.Errorf("onlinetest: RowsPerEpoch %d < 1", cfg.RowsPerEpoch)
+	}
+	base, err := patterns.NeighborAware(cfg.Distances, cfg.ChunkBits)
+	if err != nil {
+		return nil, fmt.Errorf("onlinetest: building patterns: %w", err)
+	}
+	pats := make([]patterns.Pattern, 0, 2*len(base))
+	for _, p := range base {
+		pats = append(pats, p, p.Inverse())
+	}
+
+	g := host.Geometry()
+	rows := make([]memctl.Row, 0, host.Chips()*g.RowCount())
+	for chip := 0; chip < host.Chips(); chip++ {
+		for bank := 0; bank < g.Banks; bank++ {
+			for row := 0; row < g.Rows; row++ {
+				rows = append(rows, memctl.Row{Chip: chip, Bank: bank, Row: row})
+			}
+		}
+	}
+	return &Scheduler{
+		host:      host,
+		cfg:       cfg,
+		pats:      pats,
+		rows:      rows,
+		everSeen:  make(map[memctl.BitAddr]struct{}),
+		sweepSeen: make(map[memctl.BitAddr]struct{}),
+	}, nil
+}
+
+// EpochResult summarizes one epoch.
+type EpochResult struct {
+	// RowsTested is the slice of rows taken out of service.
+	RowsTested []memctl.Row
+	// NewFailures are failures not seen in any earlier epoch.
+	NewFailures []memctl.BitAddr
+	// Tests is the number of passes this epoch.
+	Tests int
+	// SweepCompleted reports whether this epoch finished a full
+	// module sweep.
+	SweepCompleted bool
+}
+
+// RunEpoch takes the next row slice out of service, tests it with
+// every worst-case pattern, restores its contents, and returns what
+// it found. Live data in the tested rows is preserved exactly.
+func (s *Scheduler) RunEpoch() (*EpochResult, error) {
+	n := s.cfg.RowsPerEpoch
+	if n > len(s.rows) {
+		n = len(s.rows)
+	}
+	slice := make([]memctl.Row, 0, n)
+	for i := 0; i < n; i++ {
+		slice = append(slice, s.rows[(s.cursor+i)%len(s.rows)])
+	}
+
+	// Save live data. (Snapshot reads at zero wait: the contents as
+	// the application last wrote them.)
+	words := s.host.Geometry().Words()
+	saved := make([][]uint64, len(slice))
+	for i, r := range slice {
+		saved[i] = make([]uint64, words)
+		if err := s.host.ReadRowInto(r, saved[i]); err != nil {
+			return nil, fmt.Errorf("onlinetest: saving row %+v: %w", r, err)
+		}
+	}
+
+	res := &EpochResult{RowsTested: slice}
+	bufs := make([][]uint64, len(slice))
+	for i := range bufs {
+		bufs[i] = make([]uint64, words)
+	}
+	for _, p := range s.pats {
+		for i, r := range slice {
+			p.Fill(r.Chip, r.Bank, r.Row, bufs[i])
+		}
+		fails, err := s.host.Pass(slice, bufs)
+		if err != nil {
+			return nil, fmt.Errorf("onlinetest: test pass: %w", err)
+		}
+		res.Tests++
+		s.tests++
+		for _, a := range fails {
+			s.sweepSeen[a] = struct{}{}
+			if _, ok := s.everSeen[a]; !ok {
+				s.everSeen[a] = struct{}{}
+				res.NewFailures = append(res.NewFailures, a)
+			}
+		}
+	}
+
+	// Restore live data.
+	if _, err := s.host.PassWithWait(slice, saved, 0); err != nil {
+		return nil, fmt.Errorf("onlinetest: restoring rows: %w", err)
+	}
+
+	s.cursor = (s.cursor + n) % len(s.rows)
+	if s.cursor == 0 {
+		s.rounds++
+		res.SweepCompleted = true
+		s.sweepSeen = make(map[memctl.BitAddr]struct{})
+	}
+	return res, nil
+}
+
+// Coverage returns the fraction of the module tested in the current
+// sweep.
+func (s *Scheduler) Coverage() float64 {
+	if s.rounds > 0 && s.cursor == 0 {
+		return 1
+	}
+	return float64(s.cursor) / float64(len(s.rows))
+}
+
+// Rounds returns the number of completed full-module sweeps.
+func (s *Scheduler) Rounds() int { return s.rounds }
+
+// Failures returns every failure observed in any epoch.
+func (s *Scheduler) Failures() map[memctl.BitAddr]struct{} {
+	out := make(map[memctl.BitAddr]struct{}, len(s.everSeen))
+	for a := range s.everSeen {
+		out[a] = struct{}{}
+	}
+	return out
+}
+
+// Tests returns the total pass count across epochs.
+func (s *Scheduler) Tests() int { return s.tests }

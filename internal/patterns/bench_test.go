@@ -1,0 +1,22 @@
+package patterns
+
+import "testing"
+
+func BenchmarkNeighborAware(b *testing.B) {
+	dists := []int{-48, -16, -8, 8, 16, 48}
+	for i := 0; i < b.N; i++ {
+		if _, err := NeighborAware(dists, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomFill(b *testing.B) {
+	p := Random(1, 0)
+	buf := make([]uint64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Fill(0, 0, i, buf)
+	}
+	b.SetBytes(int64(len(buf) * 8))
+}

@@ -1,0 +1,133 @@
+package refresh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VulnerableCell describes one cell of a row that PARBOR found to
+// exhibit data-dependent failures: its bit address within the row and
+// the data value under which it is at risk (the value that leaves it
+// charged).
+type VulnerableCell struct {
+	Col      int32
+	FailData uint64 // 0 or 1
+}
+
+// Matcher is the bit-accurate content check at the heart of DC-REF
+// (Section 8): given the data being written to a row, it decides
+// whether the content recreates the worst-case coupling pattern at
+// any of the row's vulnerable cells — only then must the row stay on
+// the fast refresh interval.
+//
+// The check is deliberately conservative: a vulnerable cell counts as
+// endangered when it holds its fail value while ANY candidate
+// neighbor location (cell ± each detected distance) holds the
+// opposite value. Strongly coupled cells indeed fail in that
+// situation; weakly coupled cells need both neighbors, so the
+// conservative check never under-refreshes — the safety direction —
+// at the cost of keeping some benign rows fast.
+//
+// A Matcher is immutable and safe for concurrent use.
+type Matcher struct {
+	distances []int
+	rowBits   int
+	cells     map[int64][]VulnerableCell // by row key
+}
+
+// NewMatcher builds a matcher for rows of rowBits bits from the
+// detected neighbor distances.
+func NewMatcher(distances []int, rowBits int) (*Matcher, error) {
+	if len(distances) == 0 {
+		return nil, fmt.Errorf("refresh: matcher needs a non-empty distance set")
+	}
+	if rowBits <= 0 || rowBits%64 != 0 {
+		return nil, fmt.Errorf("refresh: rowBits = %d must be a positive multiple of 64", rowBits)
+	}
+	ds := append([]int(nil), distances...)
+	sort.Ints(ds)
+	return &Matcher{
+		distances: ds,
+		rowBits:   rowBits,
+		cells:     make(map[int64][]VulnerableCell),
+	}, nil
+}
+
+// AddRow registers a row's vulnerable cells (from PARBOR's full-chip
+// results). Rows without vulnerable cells need no registration; they
+// always report no match.
+func (m *Matcher) AddRow(rowKey int64, cells []VulnerableCell) error {
+	for _, c := range cells {
+		if c.Col < 0 || int(c.Col) >= m.rowBits {
+			return fmt.Errorf("refresh: cell column %d outside %d-bit row", c.Col, m.rowBits)
+		}
+		if c.FailData > 1 {
+			return fmt.Errorf("refresh: cell fail data %d is not a bit", c.FailData)
+		}
+	}
+	m.cells[rowKey] = append([]VulnerableCell(nil), cells...)
+	return nil
+}
+
+// VulnerableRows returns the number of registered rows.
+func (m *Matcher) VulnerableRows() int { return len(m.cells) }
+
+// Matches reports whether data (the row's new content) endangers any
+// registered vulnerable cell of the row.
+func (m *Matcher) Matches(rowKey int64, data []uint64) (bool, error) {
+	if len(data)*64 != m.rowBits {
+		return false, fmt.Errorf("refresh: data has %d bits, want %d", len(data)*64, m.rowBits)
+	}
+	cells, ok := m.cells[rowKey]
+	if !ok {
+		return false, nil
+	}
+	for _, c := range cells {
+		if bitAt(data, int(c.Col)) != c.FailData {
+			continue // the cell itself is in its safe state
+		}
+		for _, d := range m.distances {
+			p := int(c.Col) + d
+			if p < 0 || p >= m.rowBits {
+				continue
+			}
+			if bitAt(data, p) != c.FailData {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// MatchFraction evaluates the matcher over a set of row contents and
+// returns the fraction of registered rows whose content matches —
+// the per-application statistic that drives DC-REF's fast-row
+// population (the paper measures 2.7% of all rows on average over
+// SPEC).
+func (m *Matcher) MatchFraction(contents map[int64][]uint64) (float64, error) {
+	if len(m.cells) == 0 {
+		return 0, nil
+	}
+	matched := 0
+	for key := range m.cells {
+		data, ok := contents[key]
+		if !ok {
+			// Unknown content: conservative policies count it as
+			// matching until the first write classifies it.
+			matched++
+			continue
+		}
+		is, err := m.Matches(key, data)
+		if err != nil {
+			return 0, err
+		}
+		if is {
+			matched++
+		}
+	}
+	return float64(matched) / float64(len(m.cells)), nil
+}
+
+func bitAt(words []uint64, i int) uint64 {
+	return (words[i>>6] >> (uint(i) & 63)) & 1
+}

@@ -1,0 +1,182 @@
+package refresh
+
+import (
+	"testing"
+
+	"parbor/internal/rng"
+)
+
+func newTestMatcher(t *testing.T) *Matcher {
+	t.Helper()
+	m, err := NewMatcher([]int{-48, -16, -8, 8, 16, 48}, 1024)
+	if err != nil {
+		t.Fatalf("NewMatcher: %v", err)
+	}
+	return m
+}
+
+func setBit(words []uint64, i int, v uint64) {
+	mask := uint64(1) << (uint(i) & 63)
+	if v != 0 {
+		words[i>>6] |= mask
+	} else {
+		words[i>>6] &^= mask
+	}
+}
+
+func TestMatcherWorstCase(t *testing.T) {
+	m := newTestMatcher(t)
+	if err := m.AddRow(7, []VulnerableCell{{Col: 100, FailData: 1}}); err != nil {
+		t.Fatalf("AddRow: %v", err)
+	}
+
+	data := make([]uint64, 16)
+	for i := range data {
+		data[i] = ^uint64(0) // all ones: cell at fail value, neighbors too
+	}
+	if got, _ := m.Matches(7, data); got {
+		t.Error("uniform content matched; no neighbor is opposite")
+	}
+
+	// Flip one candidate neighbor location: now dangerous.
+	setBit(data, 100+16, 0)
+	if got, _ := m.Matches(7, data); !got {
+		t.Error("worst-case content did not match")
+	}
+
+	// The cell itself in the safe state: never dangerous.
+	setBit(data, 100, 0)
+	if got, _ := m.Matches(7, data); got {
+		t.Error("cell in safe state matched")
+	}
+}
+
+func TestMatcherRespectsFailDataPolarity(t *testing.T) {
+	m := newTestMatcher(t)
+	if err := m.AddRow(1, []VulnerableCell{{Col: 200, FailData: 0}}); err != nil {
+		t.Fatalf("AddRow: %v", err)
+	}
+	data := make([]uint64, 16) // all zeros: cell at fail value 0
+	if got, _ := m.Matches(1, data); got {
+		t.Error("uniform zeros matched")
+	}
+	setBit(data, 200-8, 1) // neighbor opposite to fail value
+	if got, _ := m.Matches(1, data); !got {
+		t.Error("anti-cell worst case did not match")
+	}
+}
+
+func TestMatcherUnregisteredRow(t *testing.T) {
+	m := newTestMatcher(t)
+	data := make([]uint64, 16)
+	if got, _ := m.Matches(42, data); got {
+		t.Error("unregistered row matched")
+	}
+}
+
+func TestMatcherEdgeColumns(t *testing.T) {
+	m := newTestMatcher(t)
+	// A cell whose +48 neighbor candidate would fall outside the row.
+	if err := m.AddRow(2, []VulnerableCell{{Col: 1020, FailData: 1}}); err != nil {
+		t.Fatalf("AddRow: %v", err)
+	}
+	data := make([]uint64, 16)
+	for i := range data {
+		data[i] = ^uint64(0)
+	}
+	if got, _ := m.Matches(2, data); got {
+		t.Error("edge cell matched with uniform content")
+	}
+	setBit(data, 1020-16, 0)
+	if got, _ := m.Matches(2, data); !got {
+		t.Error("edge cell in-row worst case did not match")
+	}
+}
+
+func TestMatchFraction(t *testing.T) {
+	m := newTestMatcher(t)
+	for row := int64(0); row < 10; row++ {
+		if err := m.AddRow(row, []VulnerableCell{{Col: 64, FailData: 1}}); err != nil {
+			t.Fatalf("AddRow: %v", err)
+		}
+	}
+	contents := make(map[int64][]uint64)
+	for row := int64(0); row < 10; row++ {
+		data := make([]uint64, 16)
+		for i := range data {
+			data[i] = ^uint64(0)
+		}
+		if row < 3 {
+			setBit(data, 64+8, 0) // dangerous content in rows 0-2
+		}
+		contents[row] = data
+	}
+	frac, err := m.MatchFraction(contents)
+	if err != nil {
+		t.Fatalf("MatchFraction: %v", err)
+	}
+	if frac != 0.3 {
+		t.Errorf("MatchFraction = %v, want 0.3", frac)
+	}
+	// Unknown contents count as matching (conservative).
+	delete(contents, 5)
+	frac, err = m.MatchFraction(contents)
+	if err != nil {
+		t.Fatalf("MatchFraction: %v", err)
+	}
+	if frac != 0.4 {
+		t.Errorf("MatchFraction with unknown row = %v, want 0.4", frac)
+	}
+}
+
+// TestMatchFractionRandomData estimates the match probability of
+// per-bit random content: with 6 candidate neighbors and one
+// vulnerable cell, roughly 1/2 * (1 - 2^-6) of rows should match —
+// the kind of statistic the trace profiles encode as
+// ContentMatchProb.
+func TestMatchFractionRandomData(t *testing.T) {
+	m := newTestMatcher(t)
+	src := rng.New(9)
+	contents := make(map[int64][]uint64)
+	const rows = 4000
+	for row := int64(0); row < rows; row++ {
+		if err := m.AddRow(row, []VulnerableCell{{Col: 512, FailData: 1}}); err != nil {
+			t.Fatalf("AddRow: %v", err)
+		}
+		data := make([]uint64, 16)
+		for i := range data {
+			data[i] = src.Uint64()
+		}
+		contents[row] = data
+	}
+	frac, err := m.MatchFraction(contents)
+	if err != nil {
+		t.Fatalf("MatchFraction: %v", err)
+	}
+	want := 0.5 * (1 - 1.0/64)
+	if frac < want-0.03 || frac > want+0.03 {
+		t.Errorf("random-content match fraction = %.3f, want about %.3f", frac, want)
+	}
+}
+
+func TestMatcherValidation(t *testing.T) {
+	if _, err := NewMatcher(nil, 1024); err == nil {
+		t.Error("empty distances accepted")
+	}
+	if _, err := NewMatcher([]int{1}, 100); err == nil {
+		t.Error("non-multiple-of-64 rowBits accepted")
+	}
+	m := newTestMatcher(t)
+	if err := m.AddRow(1, []VulnerableCell{{Col: 5000}}); err == nil {
+		t.Error("out-of-row cell accepted")
+	}
+	if err := m.AddRow(1, []VulnerableCell{{Col: 5, FailData: 2}}); err == nil {
+		t.Error("non-bit fail data accepted")
+	}
+	if _, err := m.Matches(1, make([]uint64, 3)); err == nil {
+		t.Error("short data accepted")
+	}
+	if m.VulnerableRows() != 0 {
+		t.Error("failed AddRow registered the row anyway")
+	}
+}

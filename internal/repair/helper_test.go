@@ -1,0 +1,35 @@
+package repair
+
+import (
+	"testing"
+
+	"parbor/internal/coupling"
+	"parbor/internal/dram"
+	"parbor/internal/faults"
+	"parbor/internal/memctl"
+	"parbor/internal/scramble"
+)
+
+// newDetectionHost builds a small vendor-A module for the end-to-end
+// planning test.
+func newDetectionHost(t *testing.T) *memctl.Host {
+	t.Helper()
+	cc := coupling.DefaultConfig()
+	cc.VulnerableRate = 2e-3
+	mod, err := dram.NewModule(dram.ModuleConfig{
+		Vendor:   scramble.VendorA,
+		Chips:    1,
+		Geometry: dram.Geometry{Banks: 1, Rows: 192, Cols: 8192},
+		Coupling: cc,
+		Faults:   faults.DefaultConfig(),
+		Seed:     77,
+	})
+	if err != nil {
+		t.Fatalf("NewModule: %v", err)
+	}
+	host, err := memctl.NewHost(mod, 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	return host
+}

@@ -1,0 +1,136 @@
+// Package rng provides a small, fast, deterministic, splittable
+// pseudo-random number generator used throughout the simulator.
+//
+// Every stochastic component of the DRAM model (process variation,
+// soft errors, VRT, trace generation) draws from an rng.Source seeded
+// from a single experiment seed, so that every experiment in this
+// repository is exactly reproducible. The generator is SplitMix64
+// (Steele et al., "Fast Splittable Pseudorandom Number Generators"),
+// which has a trivially correct split operation: hashing a label into
+// the state yields an independent stream.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic SplitMix64 stream. The zero value is a
+// valid source seeded with 0; use New to seed explicitly.
+//
+// Source is NOT safe for concurrent use; split one Source per
+// goroutine instead (see Split).
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// mix64 is the SplitMix64 output function (a bijective finalizer).
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix64(s.state)
+}
+
+// Split derives an independent child stream labeled by label.
+// Two children of the same parent with different labels produce
+// streams that are independent for all practical purposes, and the
+// parent stream is not perturbed.
+func (s *Source) Split(label string) *Source {
+	h := s.state + 0x9e3779b97f4a7c15
+	for _, b := range []byte(label) {
+		h = mix64(h ^ uint64(b))
+	}
+	return &Source{state: mix64(h)}
+}
+
+// SplitN derives an independent child stream labeled by an integer,
+// e.g. one stream per row or per cell array.
+func (s *Source) SplitN(label string, n uint64) *Source {
+	c := s.Split(label)
+	c.state = mix64(c.state ^ n)
+	return c
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if
+// n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Multiply-shift mapping (Lemire); the residual bias for the small
+	// n used by the simulator is negligible and the mapping is
+	// branch-free.
+	hi, _ := bits.Mul64(s.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Box-Muller transform (the polar
+// variant is avoided to keep the stream consumption deterministic at
+// exactly two draws per value).
+func (s *Source) NormFloat64() float64 {
+	u1 := s.Float64()
+	u2 := s.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	u := s.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice,
+// using the Fisher-Yates shuffle.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,360 @@
+package scramble
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func ints(xs ...int) []int { return xs }
+
+func TestVendorDistanceSets(t *testing.T) {
+	tests := []struct {
+		vendor Vendor
+		want   []int
+	}{
+		{vendor: VendorLinear, want: ints(-1, 1)},
+		{vendor: VendorA, want: ints(-48, -16, -8, 8, 16, 48)},
+		{vendor: VendorB, want: ints(-64, -1, 1, 64)},
+		{vendor: VendorC, want: ints(-49, -33, -16, 16, 33, 49)},
+		{vendor: VendorToy, want: ints(-5, -1, 1, 5)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.vendor.String(), func(t *testing.T) {
+			m := MustNew(tt.vendor)
+			if got := m.Distances(); !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Distances() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestRegionDistancesMatchFigure11 pins the per-level region-distance
+// sets published in Figure 11 of the paper. These sets determine the
+// Table 1 test counts, so they are the load-bearing property of the
+// vendor models.
+func TestRegionDistancesMatchFigure11(t *testing.T) {
+	levels := []int{4096, 512, 64, 8, 1}
+	tests := []struct {
+		vendor Vendor
+		want   [][]int // per level
+	}{
+		{
+			vendor: VendorA,
+			want: [][]int{
+				ints(0),
+				ints(0),
+				ints(-1, 0, 1),
+				ints(-6, -2, -1, 1, 2, 6),
+				ints(-48, -16, -8, 8, 16, 48),
+			},
+		},
+		{
+			vendor: VendorB,
+			want: [][]int{
+				ints(0),
+				ints(0),
+				ints(-1, 0, 1),
+				ints(-8, 0, 8),
+				ints(-64, -1, 1, 64),
+			},
+		},
+		{
+			vendor: VendorC,
+			want: [][]int{
+				ints(0),
+				ints(0),
+				ints(-1, 0, 1),
+				ints(-6, -4, -2, 2, 4, 6),
+				ints(-49, -33, -16, 16, 33, 49),
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.vendor.String(), func(t *testing.T) {
+			m := MustNew(tt.vendor)
+			for i, size := range levels {
+				got, err := m.RegionDistances(size)
+				if err != nil {
+					t.Fatalf("RegionDistances(%d): %v", size, err)
+				}
+				if !reflect.DeepEqual(got, tt.want[i]) {
+					t.Errorf("L%d (region %d): distances = %v, want %v", i+1, size, got, tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTable1TestCounts derives the per-level test counts implied by
+// the region-distance sets (t_i = N_{i-1} * S_i, Section 7.1) and
+// checks them against Table 1 of the paper.
+func TestTable1TestCounts(t *testing.T) {
+	levels := []int{4096, 512, 64, 8, 1}
+	tests := []struct {
+		vendor    Vendor
+		wantLevel []int
+		wantTotal int
+	}{
+		{vendor: VendorA, wantLevel: ints(2, 8, 8, 24, 48), wantTotal: 90},
+		{vendor: VendorB, wantLevel: ints(2, 8, 8, 24, 24), wantTotal: 66},
+		{vendor: VendorC, wantLevel: ints(2, 8, 8, 24, 48), wantTotal: 90},
+	}
+	const rowBits = 8192
+	for _, tt := range tests {
+		t.Run(tt.vendor.String(), func(t *testing.T) {
+			m := MustNew(tt.vendor)
+			prevRegions := 1 // L1 subdivides the whole row
+			prevSize := rowBits
+			total := 0
+			for i, size := range levels {
+				nTests := prevRegions * (prevSize / size)
+				if nTests != tt.wantLevel[i] {
+					t.Errorf("L%d: tests = %d, want %d", i+1, nTests, tt.wantLevel[i])
+				}
+				total += nTests
+				dists, err := m.RegionDistances(size)
+				if err != nil {
+					t.Fatalf("RegionDistances(%d): %v", size, err)
+				}
+				prevRegions = len(dists)
+				prevSize = size
+			}
+			if total != tt.wantTotal {
+				t.Errorf("total tests = %d, want %d", total, tt.wantTotal)
+			}
+		})
+	}
+}
+
+func TestSegmentsCoverChunkExactlyOnce(t *testing.T) {
+	for _, v := range []Vendor{VendorLinear, VendorA, VendorB, VendorC, VendorToy} {
+		t.Run(v.String(), func(t *testing.T) {
+			m := MustNew(v)
+			seen := make(map[int]int)
+			for _, seg := range m.Segments() {
+				for _, o := range seg {
+					seen[o]++
+				}
+			}
+			if len(seen) != m.ChunkBits() {
+				t.Fatalf("segments cover %d offsets, want %d", len(seen), m.ChunkBits())
+			}
+			for o, n := range seen {
+				if n != 1 {
+					t.Errorf("offset %d covered %d times", o, n)
+				}
+			}
+		})
+	}
+}
+
+// TestVendorCHasFewIsolatedCells checks that the greedy path-cover
+// construction for vendor C leaves almost no cells without neighbors,
+// since isolated cells can never exhibit data-dependent failures.
+func TestVendorCHasFewIsolatedCells(t *testing.T) {
+	m := MustNew(VendorC)
+	isolated := 0
+	for _, seg := range m.Segments() {
+		if len(seg) == 1 {
+			isolated++
+		}
+	}
+	if isolated > m.ChunkBits()/10 {
+		t.Errorf("%d of %d cells are isolated; want <= 10%%", isolated, m.ChunkBits())
+	}
+}
+
+// TestDistanceFrequencyBalance checks that for every vendor, each
+// true neighbor distance occurs often enough per chunk to clear
+// PARBOR's ranking threshold (Section 5.2.4). A distance rarer than
+// ~15% of the most frequent one risks being filtered as noise.
+func TestDistanceFrequencyBalance(t *testing.T) {
+	for _, v := range Vendors() {
+		t.Run(v.String(), func(t *testing.T) {
+			m := MustNew(v)
+			counts := m.DistanceCounts()
+			max := 0
+			for _, c := range counts {
+				if c > max {
+					max = c
+				}
+			}
+			for d, c := range counts {
+				if float64(c) < 0.15*float64(max) {
+					t.Errorf("distance %+d occurs %d times vs max %d; too rare for ranking", d, c, max)
+				}
+			}
+		})
+	}
+}
+
+func TestNeighborsAreMutual(t *testing.T) {
+	for _, v := range []Vendor{VendorLinear, VendorA, VendorB, VendorC, VendorToy} {
+		t.Run(v.String(), func(t *testing.T) {
+			m := MustNew(v)
+			// Test across several chunks to exercise the chunk-base math.
+			for base := 0; base < 3*m.ChunkBits(); base += m.ChunkBits() {
+				for o := 0; o < m.ChunkBits(); o++ {
+					bit := base + o
+					l, r, hasL, hasR := m.Neighbors(bit)
+					if hasL {
+						_, rr, _, hasRR := m.Neighbors(l)
+						if !hasRR || rr != bit {
+							t.Fatalf("bit %d: left neighbor %d does not point back (right=%d, has=%v)", bit, l, rr, hasRR)
+						}
+					}
+					if hasR {
+						ll, _, hasLL, _ := m.Neighbors(r)
+						if !hasLL || ll != bit {
+							t.Fatalf("bit %d: right neighbor %d does not point back (left=%d, has=%v)", bit, r, ll, hasLL)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNeighborsStayInChunk(t *testing.T) {
+	for _, v := range []Vendor{VendorA, VendorB, VendorC} {
+		m := MustNew(v)
+		cb := m.ChunkBits()
+		for o := 0; o < cb; o++ {
+			bit := 5*cb + o // arbitrary chunk
+			l, r, hasL, hasR := m.Neighbors(bit)
+			if hasL && l/cb != bit/cb {
+				t.Errorf("%v: bit %d left neighbor %d leaves chunk", v, bit, l)
+			}
+			if hasR && r/cb != bit/cb {
+				t.Errorf("%v: bit %d right neighbor %d leaves chunk", v, bit, r)
+			}
+		}
+	}
+}
+
+func TestMaxDistance(t *testing.T) {
+	tests := []struct {
+		vendor Vendor
+		want   int
+	}{
+		{vendor: VendorA, want: 48},
+		{vendor: VendorB, want: 64},
+		{vendor: VendorC, want: 49},
+		{vendor: VendorToy, want: 5},
+	}
+	for _, tt := range tests {
+		if got := MustNew(tt.vendor).MaxDistance(); got != tt.want {
+			t.Errorf("%v: MaxDistance() = %d, want %d", tt.vendor, got, tt.want)
+		}
+	}
+}
+
+func TestFromSegmentsValidation(t *testing.T) {
+	tests := []struct {
+		name     string
+		chunk    int
+		segments [][]int
+	}{
+		{name: "empty segment", chunk: 4, segments: [][]int{{0, 1, 2, 3}, {}}},
+		{name: "duplicate offset", chunk: 4, segments: [][]int{{0, 1}, {1, 2, 3}}},
+		{name: "missing offset", chunk: 4, segments: [][]int{{0, 1, 2}}},
+		{name: "out of range", chunk: 4, segments: [][]int{{0, 1, 2, 4}}},
+		{name: "negative chunk", chunk: -1, segments: nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := FromSegments(VendorLinear, tt.chunk, tt.segments); err == nil {
+				t.Error("FromSegments() succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestFromSegmentsCustom(t *testing.T) {
+	m, err := FromSegments(VendorLinear, 4, [][]int{{2, 0}, {1, 3}})
+	if err != nil {
+		t.Fatalf("FromSegments: %v", err)
+	}
+	if got, want := m.Distances(), ints(-2, 2); !reflect.DeepEqual(got, want) {
+		t.Errorf("Distances() = %v, want %v", got, want)
+	}
+	l, r, hasL, hasR := m.Neighbors(0)
+	if !hasL || l != 2 {
+		t.Errorf("Neighbors(0) left = %d,%v; want 2,true", l, hasL)
+	}
+	if hasR {
+		t.Errorf("Neighbors(0) right = %d, want none", r)
+	}
+}
+
+// TestToyMappingMatchesFigure8 verifies the worked example of the
+// paper: in the Figure 5/8 mapping, the neighbors of system address X
+// are at X+1 and X+5.
+func TestToyMappingMatchesFigure8(t *testing.T) {
+	m := MustNew(VendorToy)
+	l, r, hasL, hasR := m.Neighbors(0)
+	if !hasL || !hasR {
+		t.Fatalf("Neighbors(0): expected both neighbors, got hasL=%v hasR=%v", hasL, hasR)
+	}
+	got := map[int]bool{l: true, r: true}
+	if !got[1] || !got[5] {
+		t.Errorf("Neighbors(0) = {%d,%d}, want {1,5}", l, r)
+	}
+}
+
+// TestRegionDistancesQuick is a property test: for any (admissible)
+// region size, region distances must be consistent with bit distances
+// scaled down and the set must be symmetric around zero.
+func TestRegionDistancesQuick(t *testing.T) {
+	m := MustNew(VendorA)
+	f := func(pick uint8) bool {
+		sizes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+		size := sizes[int(pick)%len(sizes)]
+		ds, err := m.RegionDistances(size)
+		if err != nil {
+			return false
+		}
+		set := make(map[int]bool, len(ds))
+		for _, d := range ds {
+			set[d] = true
+		}
+		for _, d := range ds {
+			if !set[-d] {
+				return false // must be symmetric
+			}
+			if d*size > m.MaxDistance()+size {
+				return false // cannot exceed max bit distance by more than one region
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionDistancesErrors(t *testing.T) {
+	m := MustNew(VendorA)
+	if _, err := m.RegionDistances(0); err == nil {
+		t.Error("RegionDistances(0) succeeded, want error")
+	}
+	if _, err := m.RegionDistances(96); err == nil {
+		t.Error("RegionDistances(96) succeeded, want error (96 does not divide 128)")
+	}
+}
+
+func TestVendorString(t *testing.T) {
+	if got := Vendor(99).String(); got != "Vendor(99)" {
+		t.Errorf("Vendor(99).String() = %q", got)
+	}
+	if got := VendorA.String(); got != "A" {
+		t.Errorf("VendorA.String() = %q", got)
+	}
+}
+
+func TestNewUnknownVendor(t *testing.T) {
+	if _, err := New(Vendor(42)); err == nil {
+		t.Error("New(42) succeeded, want error")
+	}
+}

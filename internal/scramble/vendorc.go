@@ -1,0 +1,215 @@
+package scramble
+
+// Manufacturer C has neighbor distances {±16, ±33, ±49} (Figure 11c)
+// with per-level region distances L3 {0,±1} and L4 {±2,±4,±6}
+// (3 and 6 region candidates, giving Table 1's 24 and 48 tests).
+//
+// Those sets over-constrain the physical layout enough to derive it:
+//
+//   - All three deltas are even multiples of 2 in the 16-per-lane "a"
+//     coordinate of o = 8a + r, so adjacency preserves the parity of a.
+//   - The odd deltas (33 = 4*8+1 and 49 = 6*8+1) must always cross
+//     exactly 4 and 6 aligned 8-bit regions, which requires the lower
+//     endpoint to satisfy o mod 8 <= 6 — otherwise L4 would contain
+//     ±5 or ±7, contradicting the 48-test count at L5.
+//
+// We additionally require segments to be monotone in system-address
+// order: each cell's two physical neighbors lie on opposite sides of
+// it. Monotonicity bounds every k-cell physical window to a span of
+// at least 16k bits, so a cell's interference tail can never fold
+// back into its own 8-bit group — the property the one-hot-group
+// neighbor-aware pattern relies on, and one real layouts share
+// (bitlines map to monotone column sequences).
+//
+// Under monotonicity the path-cover problem becomes a bipartite
+// matching: every cell owns one "up" slot (an edge to a higher
+// address) and one "down" slot, an edge (u, u+d) consumes u's up slot
+// and (u+d)'s down slot, and any such matching is automatically a
+// disjoint union of ascending paths (no cycles are possible). The
+// builder below matches each cell's down slot greedily, cycling the
+// preferred delta so that all three distances occur with similar
+// frequency — every true distance must clear PARBOR's ranking
+// threshold (Section 5.2.4).
+func vendorCSegments() [][]int {
+	const n = DefaultChunkBits
+	deltas := [...]int{33, 49, 16}
+
+	// admissible reports whether an edge of delta d may start at u.
+	admissible := func(u, d int) bool {
+		if u < 0 || u+d >= n {
+			return false
+		}
+		// Odd deltas must cross exactly floor(d/8) aligned 8-bit
+		// regions for every victim alignment (see above).
+		if d%8 != 0 && u%8 > 6 {
+			return false
+		}
+		return true
+	}
+
+	upTaken := make([]bool, n) // up slot of cell u consumed
+	downFrom := make([]int, n) // matched predecessor of cell v, or -1
+	for i := range downFrom {
+		downFrom[i] = -1
+	}
+
+	// Match each cell's down slot. Cells are visited in a scattered
+	// deterministic order and always try the globally least-used
+	// delta first, which keeps the three distances near-equally
+	// frequent; a second sweep mops up cells the first pass left
+	// unmatched.
+	counts := map[int]int{}
+	match := func(v int) {
+		if downFrom[v] >= 0 {
+			return
+		}
+		order := append([]int(nil), deltas[:]...)
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && counts[order[j]] < counts[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for _, d := range order {
+			u := v - d
+			if u < 0 || !admissible(u, d) || upTaken[u] {
+				continue
+			}
+			upTaken[u] = true
+			downFrom[v] = u
+			counts[d]++
+			return
+		}
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		for i := 0; i < n; i++ {
+			v := (i*37 + 5) % n
+			if v >= 16 {
+				match(v)
+			}
+		}
+	}
+
+	// The greedy pass leaves some cells unmatched behind up-slot
+	// conflicts; resolve them with augmenting paths (Kuhn's
+	// algorithm) so that segments grow as long as the delta set
+	// permits. Longer segments matter: cells at segment ends have
+	// truncated interference neighborhoods, and real arrays keep
+	// bitline columns contiguous for hundreds of cells.
+	matchedV := make([]int, n) // up-slot owner: u -> its matched v, or -1
+	for i := range matchedV {
+		matchedV[i] = -1
+	}
+	for v, u := range downFrom {
+		if u >= 0 {
+			matchedV[u] = v
+		}
+	}
+	// Augmenting paths trade bump edges (+33/+49) for +16 edges: the
+	// unique perfect matching is the all-16 pure-lane one (an easy
+	// residue-flow induction), so unconstrained augmentation would
+	// erase two of the three distances. Augmentation therefore stops
+	// (reverting its last step) once the bump counts drain to the
+	// floors below. The trade-off is physical: every +33/+49
+	// adjacency consumes 2-3x the address span of a +16 one and
+	// chains cannot span more than 127 bits, so more bump edges mean
+	// shorter physical columns; the floors keep all three distances
+	// comfortably above PARBOR's ranking threshold (the paper's
+	// Figure 14 indeed shows C's ranking profile as the least
+	// uniform) while the augmentation keeps segments long.
+	floors := map[int]int{33: 20, 49: 14}
+	var augment func(v int, visited []bool) bool
+	augment = func(v int, visited []bool) bool {
+		order := append([]int(nil), deltas[:]...)
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && counts[order[j]] < counts[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for _, d := range order {
+			u := v - d
+			if u < 0 || !admissible(u, d) || visited[u] {
+				continue
+			}
+			visited[u] = true
+			if matchedV[u] == -1 {
+				matchedV[u] = v
+				downFrom[v] = u
+				counts[d]++
+				return true
+			}
+			displaced := matchedV[u]
+			oldDelta := displaced - u
+			counts[oldDelta]--
+			matchedV[u] = -1
+			downFrom[displaced] = -1
+			if augment(displaced, visited) {
+				matchedV[u] = v
+				downFrom[v] = u
+				counts[d]++
+				return true
+			}
+			// Restore the displaced edge.
+			matchedV[u] = displaced
+			downFrom[displaced] = u
+			counts[oldDelta]++
+		}
+		return false
+	}
+	snapshot := func() ([]int, []int, map[int]int) {
+		df := append([]int(nil), downFrom...)
+		mv := append([]int(nil), matchedV...)
+		ct := map[int]int{}
+		for k, c := range counts {
+			ct[k] = c
+		}
+		return df, mv, ct
+	}
+	belowFloor := func() bool {
+		for d, f := range floors {
+			if counts[d] < f {
+				return true
+			}
+		}
+		return false
+	}
+	for v := 16; v < n; v++ {
+		if downFrom[v] != -1 {
+			continue
+		}
+		df, mv, ct := snapshot()
+		if augment(v, make([]bool, n)) && belowFloor() {
+			// This path drained a bump type below its floor; revert
+			// and try the remaining cells (their augmenting paths may
+			// not touch bump edges).
+			copy(downFrom, df)
+			copy(matchedV, mv)
+			counts = ct
+		}
+	}
+	for i := range upTaken {
+		upTaken[i] = matchedV[i] >= 0
+	}
+
+	// Walk the ascending chains from their minimal cells.
+	next := make([]int, n)
+	for i := range next {
+		next[i] = -1
+	}
+	for v, u := range downFrom {
+		if u >= 0 {
+			next[u] = v
+		}
+	}
+	var segs [][]int
+	for start := 0; start < n; start++ {
+		if downFrom[start] >= 0 {
+			continue // not a chain head
+		}
+		seg := []int{start}
+		for cur := next[start]; cur >= 0; cur = next[cur] {
+			seg = append(seg, cur)
+		}
+		segs = append(segs, seg)
+	}
+	return segs
+}

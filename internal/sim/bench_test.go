@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"testing"
+
+	"parbor/internal/refresh"
+	"parbor/internal/trace"
+)
+
+func BenchmarkRunOneMillisecond(b *testing.B) {
+	wl := trace.Workloads(1, 8, 1)[0]
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{
+			Workload: wl,
+			Policy:   refresh.DCREF,
+			Density:  Density32Gbit,
+			SimNs:    1e6,
+			Seed:     2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Requests == 0 {
+			b.Fatal("no requests simulated")
+		}
+	}
+}

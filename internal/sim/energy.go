@@ -1,0 +1,42 @@
+package sim
+
+// Energy is a coarse DRAM energy account in nanojoules, in the style
+// of DRAMPower-class models: per-operation charges plus standby
+// background power. The constants are representative DDR3 x8-rank
+// values; absolute joules are indicative, but the refresh share —
+// what the refresh policies change — is modeled directly from the
+// operation counts.
+type Energy struct {
+	// ActivateNJ covers row activate+precharge pairs.
+	ActivateNJ float64
+	// AccessNJ covers read/write bursts.
+	AccessNJ float64
+	// RefreshNJ covers row refreshes.
+	RefreshNJ float64
+	// BackgroundNJ covers standby power over the simulated window.
+	BackgroundNJ float64
+}
+
+// Total returns the sum.
+func (e Energy) Total() float64 {
+	return e.ActivateNJ + e.AccessNJ + e.RefreshNJ + e.BackgroundNJ
+}
+
+// Per-operation energy constants (nanojoules) and background power
+// (watts per rank) for a DDR3 x8 rank.
+const (
+	energyActivateNJ    = 2.0
+	energyAccessNJ      = 1.2
+	energyRefreshRowNJ  = 1.5
+	backgroundWattsRank = 0.10
+)
+
+// accumulateEnergy derives the account from operation counts.
+func accumulateEnergy(activates, accesses, refreshes int64, simNs float64, ranks int) Energy {
+	return Energy{
+		ActivateNJ:   float64(activates) * energyActivateNJ,
+		AccessNJ:     float64(accesses) * energyAccessNJ,
+		RefreshNJ:    float64(refreshes) * energyRefreshRowNJ,
+		BackgroundNJ: backgroundWattsRank * float64(ranks) * simNs, // W * ns = nJ
+	}
+}

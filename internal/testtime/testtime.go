@@ -1,0 +1,92 @@
+// Package testtime implements the analytic test-time model of the
+// paper's Appendix: how long naive O(n^k) neighbor searches and
+// PARBOR's test sequence take on real DDR3-1600 hardware. These
+// projections motivate the whole work — 49 days for a naive pairwise
+// search of a single 8K-cell row versus under a minute for PARBOR.
+package testtime
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"parbor/internal/dram"
+	"parbor/internal/memctl"
+)
+
+// Model computes hardware test-time projections.
+type Model struct {
+	// Timing is the DRAM command timing (defaults to DDR3-1600 via
+	// New).
+	Timing memctl.Timing
+	// RefreshIntervalMs is the retention wait per test (the paper's
+	// Appendix uses the nominal 64 ms interval).
+	RefreshIntervalMs float64
+}
+
+// New returns the Appendix's model: DDR3-1600 timing with a 64 ms
+// retention wait per test.
+func New() Model {
+	return Model{Timing: memctl.DDR3_1600(), RefreshIntervalMs: 64}
+}
+
+// perProbe is the duration of one single-cell-pair probe: two cache
+// block accesses plus the retention wait. The wait dominates (~64 ms).
+func (m Model) perProbe() time.Duration {
+	wait := time.Duration(m.RefreshIntervalMs * float64(time.Millisecond))
+	return m.Timing.TwoBlockAccessTime() + wait
+}
+
+// NaiveSearch returns the time to locate k neighbors of the cells in
+// one n-cell row by exhaustive testing: O(n^k) probes, each costing a
+// retention wait. For n = 8192: k=1 8.7 min, k=2 49 days, k=3 1115
+// years, k=4 9.1 million years (Appendix).
+func (m Model) NaiveSearch(n, k int) (time.Duration, error) {
+	if n <= 0 || k <= 0 {
+		return 0, fmt.Errorf("testtime: n and k must be positive, got n=%d k=%d", n, k)
+	}
+	probes := math.Pow(float64(n), float64(k))
+	ns := probes * float64(m.perProbe())
+	if ns > math.MaxInt64 {
+		// Beyond time.Duration's ~292-year range; saturate.
+		return time.Duration(math.MaxInt64), nil
+	}
+	return time.Duration(ns), nil
+}
+
+// NaiveSearchYears returns the same projection in years, usable
+// beyond time.Duration's range.
+func (m Model) NaiveSearchYears(n, k int) float64 {
+	probes := math.Pow(float64(n), float64(k))
+	seconds := probes * m.perProbe().Seconds()
+	return seconds / (365 * 24 * 3600)
+}
+
+// ParborTime returns the wall-clock estimate for a full PARBOR run of
+// `tests` module-wide passes over the given module geometry: the
+// Appendix's 32 s for 92 tests and 55 s for 132 tests on a 2 GB
+// module.
+func (m Model) ParborTime(g dram.Geometry, chips, tests int) time.Duration {
+	per := m.Timing.ModulePassTime(g, chips, m.RefreshIntervalMs)
+	return time.Duration(tests) * per
+}
+
+// PaperModuleGeometry is the 2 GB module of the paper: 8 chips of
+// 8 banks x 32K rows x 8K cells.
+func PaperModuleGeometry() (dram.Geometry, int) {
+	return dram.Geometry{Banks: 8, Rows: 32768, Cols: 8192}, 8
+}
+
+// SpeedupVsLinear returns the paper's "90X" headline: the ratio of
+// the O(n) per-row linear search (n tests) to PARBOR's recursion
+// test count.
+func SpeedupVsLinear(rowBits, parborTests int) float64 {
+	return float64(rowBits) / float64(parborTests)
+}
+
+// SpeedupVsPairwise returns the paper's "745,654X" headline: the
+// ratio of the O(n^2) pairwise search (n^2 tests) to PARBOR's
+// recursion test count.
+func SpeedupVsPairwise(rowBits, parborTests int) float64 {
+	return float64(rowBits) * float64(rowBits) / float64(parborTests)
+}

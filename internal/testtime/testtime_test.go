@@ -1,0 +1,88 @@
+package testtime
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestAppendixProjections pins the Appendix's headline numbers for an
+// 8K-cell row at a 64 ms refresh interval.
+func TestAppendixProjections(t *testing.T) {
+	m := New()
+	const n = 8192
+
+	linear, err := m.NaiveSearch(n, 1)
+	if err != nil {
+		t.Fatalf("NaiveSearch: %v", err)
+	}
+	if lo, hi := 8*time.Minute, 9*time.Minute; linear < lo || linear > hi {
+		t.Errorf("O(n) search = %v, want about 8.73 min", linear)
+	}
+
+	pairs, err := m.NaiveSearch(n, 2)
+	if err != nil {
+		t.Fatalf("NaiveSearch: %v", err)
+	}
+	days := pairs.Hours() / 24
+	if days < 48 || days < 0 || days > 51 {
+		t.Errorf("O(n^2) search = %.1f days, want about 49", days)
+	}
+
+	if years := m.NaiveSearchYears(n, 3); years < 1050 || years > 1200 {
+		t.Errorf("O(n^3) search = %.0f years, want about 1115", years)
+	}
+	if years := m.NaiveSearchYears(n, 4); years < 8.5e6 || years > 9.8e6 {
+		t.Errorf("O(n^4) search = %.2g years, want about 9.1M", years)
+	}
+}
+
+func TestNaiveSearchSaturates(t *testing.T) {
+	m := New()
+	d, err := m.NaiveSearch(8192, 4)
+	if err != nil {
+		t.Fatalf("NaiveSearch: %v", err)
+	}
+	if d != time.Duration(math.MaxInt64) {
+		t.Errorf("k=4 projection = %v, want saturation", d)
+	}
+}
+
+func TestNaiveSearchErrors(t *testing.T) {
+	m := New()
+	if _, err := m.NaiveSearch(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := m.NaiveSearch(10, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// TestParborTimeMatchesAppendix checks the 32 s / 55 s projections for
+// 92 and 132 tests on the paper's 2 GB module.
+func TestParborTimeMatchesAppendix(t *testing.T) {
+	m := New()
+	g, chips := PaperModuleGeometry()
+	if got := m.ParborTime(g, chips, 92); got < 36*time.Second || got > 40*time.Second {
+		t.Errorf("92 tests = %v, want about 38s", got)
+	}
+	if got := m.ParborTime(g, chips, 132); got < 52*time.Second || got > 57*time.Second {
+		t.Errorf("132 tests = %v, want about 55s", got)
+	}
+}
+
+// TestSpeedups pins the paper's headline reductions: "a 90X and
+// 745,654X reduction compared to tests with O(n) and O(n^2)
+// complexity".
+func TestSpeedups(t *testing.T) {
+	if got := SpeedupVsLinear(8192, 90); math.Abs(got-91) > 1 {
+		t.Errorf("linear speedup = %.0f, want about 90X", got)
+	}
+	if got := SpeedupVsPairwise(8192, 90); math.Abs(got-745654) > 1000 {
+		t.Errorf("pairwise speedup = %.0f, want about 745,654X", got)
+	}
+	// The paper's 745,654X is 8192^2/90 = 745,654.
+	if got := SpeedupVsPairwise(8192, 90); math.Floor(got) != 745654 {
+		t.Errorf("pairwise speedup = %v, want 745654", got)
+	}
+}

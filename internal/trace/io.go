@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Trace files serialize a generated request stream so experiments can
+// replay the exact same workload across tools and machines (the role
+// the paper's Pin traces play). The format is a small binary header
+// with the generating profile, then one varint-encoded record per
+// request:
+//
+//	magic "PBTR", version u8
+//	app:  name (u8 len + bytes), MPKI f64, RowLocality f64,
+//	      WriteFrac f64, FootprintRows u32, ContentMatchProb f64
+//	count u64, then per request:
+//	      flags u8 (bit0 = write), InstGap uvarint, Row uvarint
+const (
+	traceMagic   = "PBTR"
+	traceVersion = 1
+)
+
+// WriteTrace serializes a request sequence with its generating
+// profile.
+func WriteTrace(w io.Writer, app App, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return fmt.Errorf("trace: writing magic: %w", err)
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return fmt.Errorf("trace: writing version: %w", err)
+	}
+	if len(app.Name) > 255 {
+		return fmt.Errorf("trace: app name %q too long", app.Name)
+	}
+	if err := bw.WriteByte(byte(len(app.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(app.Name); err != nil {
+		return err
+	}
+	for _, f := range []float64{app.MPKI, app.RowLocality, app.WriteFrac} {
+		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(app.FootprintRows)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, app.ContentMatchProb); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(reqs))); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, r := range reqs {
+		var flags byte
+		if r.Write {
+			flags |= 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		n := binary.PutUvarint(buf[:], uint64(r.InstGap))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], uint64(r.Row))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace file.
+func ReadTrace(r io.Reader) (App, []Request, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return App{}, nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return App{}, nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return App{}, nil, err
+	}
+	if version != traceVersion {
+		return App{}, nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	nameLen, err := br.ReadByte()
+	if err != nil {
+		return App{}, nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return App{}, nil, err
+	}
+	app := App{Name: string(name)}
+	for _, dst := range []*float64{&app.MPKI, &app.RowLocality, &app.WriteFrac} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return App{}, nil, err
+		}
+	}
+	var footprint uint32
+	if err := binary.Read(br, binary.LittleEndian, &footprint); err != nil {
+		return App{}, nil, err
+	}
+	app.FootprintRows = int(footprint)
+	if err := binary.Read(br, binary.LittleEndian, &app.ContentMatchProb); err != nil {
+		return App{}, nil, err
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return App{}, nil, err
+	}
+	const maxCount = 1 << 30
+	if count > maxCount {
+		return App{}, nil, fmt.Errorf("trace: implausible request count %d", count)
+	}
+	reqs := make([]Request, 0, count)
+	for i := uint64(0); i < count; i++ {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return App{}, nil, fmt.Errorf("trace: request %d: %w", i, err)
+		}
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return App{}, nil, fmt.Errorf("trace: request %d gap: %w", i, err)
+		}
+		row, err := binary.ReadUvarint(br)
+		if err != nil {
+			return App{}, nil, fmt.Errorf("trace: request %d row: %w", i, err)
+		}
+		if gap > math.MaxInt32 {
+			return App{}, nil, fmt.Errorf("trace: request %d: gap %d out of range", i, gap)
+		}
+		reqs = append(reqs, Request{
+			InstGap: int(gap),
+			Write:   flags&1 != 0,
+			Row:     int64(row),
+		})
+	}
+	return app, reqs, nil
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	app, err := AppByName("lbm")
+	if err != nil {
+		t.Fatalf("AppByName: %v", err)
+	}
+	reqs, err := Generate(app, 5000, 7)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, app, reqs); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	gotApp, gotReqs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if gotApp != app {
+		t.Errorf("app round trip: %+v != %+v", gotApp, app)
+	}
+	if len(gotReqs) != len(reqs) {
+		t.Fatalf("request count %d != %d", len(gotReqs), len(reqs))
+	}
+	for i := range reqs {
+		if gotReqs[i] != reqs[i] {
+			t.Fatalf("request %d differs: %+v != %+v", i, gotReqs[i], reqs[i])
+		}
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	app, _ := AppByName("mcf")
+	reqs, _ := Generate(app, 10000, 1)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, app, reqs); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	perReq := float64(buf.Len()) / float64(len(reqs))
+	if perReq > 8 {
+		t.Errorf("%.1f bytes per request, want compact (<8)", perReq)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad magic":   "NOPE\x01",
+		"bad version": "PBTR\x63",
+		"truncated":   "PBTR\x01\x03lbm",
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := ReadTrace(strings.NewReader(data)); err == nil {
+				t.Error("garbage accepted")
+			}
+		})
+	}
+}
+
+func TestWriteTraceRejectsLongName(t *testing.T) {
+	app := App{Name: strings.Repeat("x", 300), MPKI: 1, FootprintRows: 1}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, app, nil); err == nil {
+		t.Error("overlong name accepted")
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	app, _ := AppByName("hmmer")
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, app, nil); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	gotApp, gotReqs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if gotApp != app || len(gotReqs) != 0 {
+		t.Error("empty trace round trip failed")
+	}
+}

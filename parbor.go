@@ -1,0 +1,336 @@
+// Package parbor is a library reproduction of "PARBOR: An Efficient
+// System-Level Technique to Detect Data-Dependent Failures in DRAM"
+// (Khan, Lee, Mutlu; DSN 2016).
+//
+// It bundles three things:
+//
+//   - A DRAM device simulator with vendor-style internal address
+//     scrambling, coupling-based data-dependent failures, and the
+//     random-failure modes of real chips — the stand-in for the
+//     paper's FPGA-plus-144-chips test infrastructure.
+//   - The PARBOR detection algorithm itself: parallel recursive
+//     neighbor-location testing plus neighbor-aware full-chip
+//     testing, running strictly on the memory-controller interface.
+//   - The DC-REF refresh study: a command-level DDR3 system
+//     simulator comparing content-based refresh against RAIDR and
+//     the uniform baseline on synthetic SPEC-like workloads.
+//
+// Quickstart:
+//
+//	mod, _ := parbor.NewModule(parbor.ModuleConfig{
+//		Name:   "A1",
+//		Vendor: parbor.VendorA,
+//		Seed:   42,
+//	})
+//	host, _ := parbor.NewHost(mod, 0)
+//	tester, _ := parbor.NewTester(host, parbor.DetectConfig{})
+//	report, _ := tester.Run()
+//	fmt.Println(report.Neighbor.Distances) // [-48 -16 -8 8 16 48]
+//
+// The subsystems are implemented in internal packages; this package
+// re-exports the stable surface.
+package parbor
+
+import (
+	"parbor/internal/core"
+	"parbor/internal/coupling"
+	"parbor/internal/dram"
+	"parbor/internal/faults"
+	"parbor/internal/march"
+	"parbor/internal/memctl"
+	"parbor/internal/onlinetest"
+	"parbor/internal/patterns"
+	"parbor/internal/refresh"
+	"parbor/internal/repair"
+	"parbor/internal/retention"
+	"parbor/internal/scramble"
+	"parbor/internal/sim"
+	"parbor/internal/testtime"
+	"parbor/internal/trace"
+)
+
+// Vendor identifies a DRAM-internal address-scrambling profile.
+type Vendor = scramble.Vendor
+
+// The vendor profiles: A, B, C model the paper's three anonymized
+// manufacturers; Linear is an unscrambled mapping; Toy is the 16-bit
+// worked example of the paper's Figures 5-9.
+const (
+	VendorLinear = scramble.VendorLinear
+	VendorA      = scramble.VendorA
+	VendorB      = scramble.VendorB
+	VendorC      = scramble.VendorC
+	VendorToy    = scramble.VendorToy
+)
+
+// Vendors lists the three real-chip profiles.
+func Vendors() []Vendor { return scramble.Vendors() }
+
+// Mapping is a ground-truth system-to-physical address mapping
+// (exposed for validation and experimentation; the detection
+// algorithm never consults it).
+type Mapping = scramble.Mapping
+
+// NewMapping returns the mapping of a vendor profile.
+func NewMapping(v Vendor) (*Mapping, error) { return scramble.New(v) }
+
+// InferMapping builds one plausible physical layout consistent with a
+// detected neighbor-distance set — the inverse of what detection
+// measures. Useful for predicting interference tails on a chip whose
+// mapping was just learned.
+func InferMapping(distances []int, chunkBits int) (*Mapping, error) {
+	return scramble.Infer(distances, chunkBits)
+}
+
+// MappingFromSegments builds a custom Mapping from explicit
+// chunk-local physical segments, for modeling chips beyond the three
+// paper vendors.
+func MappingFromSegments(chunkBits int, segments [][]int) (*Mapping, error) {
+	return scramble.FromSegments(VendorLinear, chunkBits, segments)
+}
+
+// Geometry describes a chip's addressable layout.
+type Geometry = dram.Geometry
+
+// CouplingConfig parameterizes the data-dependent failure model.
+type CouplingConfig = coupling.Config
+
+// DefaultCouplingConfig returns the model used by the paper
+// reproduction experiments.
+func DefaultCouplingConfig() CouplingConfig { return coupling.DefaultConfig() }
+
+// FaultsConfig parameterizes the random-failure injectors (soft
+// errors, VRT, marginal cells, weak cells, remapped columns).
+type FaultsConfig = faults.Config
+
+// DefaultFaultsConfig returns the injector rates used by the paper
+// reproduction experiments.
+func DefaultFaultsConfig() FaultsConfig { return faults.DefaultConfig() }
+
+// ModuleConfig describes a simulated DRAM module.
+type ModuleConfig = dram.ModuleConfig
+
+// Module is a simulated DRAM module (a set of chips sharing one
+// vendor profile).
+type Module = dram.Module
+
+// NewModule builds a simulated module. Zero Coupling/Faults configs
+// mean "no failures"; use the Default*Config helpers for realistic
+// populations.
+func NewModule(cfg ModuleConfig) (*Module, error) { return dram.NewModule(cfg) }
+
+// ExperimentGeometry is the scaled-down per-chip geometry used by
+// the reproduction experiments.
+func ExperimentGeometry() Geometry { return dram.ExperimentGeometry() }
+
+// Host is the system-level test host: the only interface through
+// which the detection algorithm touches a module.
+type Host = memctl.Host
+
+// Row identifies one row of one chip in a module.
+type Row = memctl.Row
+
+// BitAddr identifies one cell by system address.
+type BitAddr = memctl.BitAddr
+
+// NewHost wraps a module in a test host. waitMs is the retention
+// wait per test pass; 0 selects the paper's 4 s experimental
+// interval.
+func NewHost(mod *Module, waitMs float64) (*Host, error) { return memctl.NewHost(mod, waitMs) }
+
+// Timing holds DDR3 command timings for the analytic test-time
+// model.
+type Timing = memctl.Timing
+
+// DDR3_1600 returns the paper's timing constants.
+func DDR3_1600() Timing { return memctl.DDR3_1600() }
+
+// DetectConfig tunes the PARBOR tester; the zero value selects the
+// paper's defaults.
+type DetectConfig = core.Config
+
+// Tester runs PARBOR against one module.
+type Tester = core.Tester
+
+// NewTester builds a tester on a host.
+func NewTester(host *Host, cfg DetectConfig) (*Tester, error) { return core.New(host, cfg) }
+
+// NeighborResult is the outcome of neighbor-location detection
+// (Table 1 / Figure 11 data).
+type NeighborResult = core.NeighborResult
+
+// Report is the outcome of the full PARBOR pipeline.
+type Report = core.Report
+
+// FailureSet is a set of failing cell addresses.
+type FailureSet = core.FailureSet
+
+// Victim identifies a known data-dependent victim cell.
+type Victim = core.Victim
+
+// TestTimeModel is the analytic hardware test-time model of the
+// paper's Appendix.
+type TestTimeModel = testtime.Model
+
+// NewTestTimeModel returns the Appendix's model (DDR3-1600, 64 ms
+// waits).
+func NewTestTimeModel() TestTimeModel { return testtime.New() }
+
+// RefreshKind selects a refresh policy for the system simulation.
+type RefreshKind = refresh.Kind
+
+// The refresh policies of the DC-REF study (Figure 16).
+const (
+	RefreshUniform = refresh.Uniform
+	RefreshRAIDR   = refresh.RAIDR
+	RefreshDCREF   = refresh.DCREF
+)
+
+// RefreshKinds lists the policies in evaluation order.
+func RefreshKinds() []RefreshKind { return refresh.Kinds() }
+
+// App is a synthetic SPEC-like workload profile.
+type App = trace.App
+
+// SPECApps returns the 17 application profiles of the DC-REF
+// evaluation.
+func SPECApps() []App { return trace.SPEC2006() }
+
+// Workloads builds n random multi-programmed mixes of `cores` apps.
+func Workloads(n, cores int, seed uint64) [][]App { return trace.Workloads(n, cores, seed) }
+
+// SimConfig describes one DDR3 system-simulation run.
+type SimConfig = sim.Config
+
+// SimResult aggregates a run.
+type SimResult = sim.Result
+
+// Density selects the simulated chip density.
+type Density = sim.Density
+
+// The densities of Figure 16.
+const (
+	Density16Gbit = sim.Density16Gbit
+	Density32Gbit = sim.Density32Gbit
+)
+
+// RunSim executes one refresh-policy simulation.
+func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// CouplingKind is the system-observable coupling class assigned by
+// Tester.ClassifyVictims.
+type CouplingKind = core.CouplingKind
+
+// Victim classes (see Tester.ClassifyVictims).
+const (
+	KindUnknown            = core.KindUnknown
+	KindContentIndependent = core.KindContentIndependent
+	KindSingle             = core.KindSingle
+	KindPair               = core.KindPair
+)
+
+// ClassifiedVictim pairs a victim with its probe-derived class.
+type ClassifiedVictim = core.ClassifiedVictim
+
+// Pattern is a row data pattern.
+type Pattern = patterns.Pattern
+
+// NeighborAwarePatterns builds the worst-case stress patterns for a
+// detected distance set and scrambling chunk size (Section 5.2.5).
+func NeighborAwarePatterns(distances []int, chunkBits int) ([]Pattern, error) {
+	return patterns.NeighborAware(distances, chunkBits)
+}
+
+// RetentionConfig tunes the retention-time profiler.
+type RetentionConfig = retention.Config
+
+// RetentionProfiler measures per-row retention times through a host.
+type RetentionProfiler = retention.Profiler
+
+// RetentionProfile is a full module retention profile.
+type RetentionProfile = retention.Profile
+
+// NewRetentionProfiler builds a profiler on a host.
+func NewRetentionProfiler(host *Host, cfg RetentionConfig) (*RetentionProfiler, error) {
+	return retention.New(host, cfg)
+}
+
+// MarchTest is a classical memory March test.
+type MarchTest = march.Test
+
+// MarchEngine executes March and NPSF tests through a host.
+type MarchEngine = march.Engine
+
+// NewMarchEngine builds a March engine on a host.
+func NewMarchEngine(host *Host) (*MarchEngine, error) { return march.NewEngine(host) }
+
+// Standard March tests and the DRAM retention-delay adapter.
+func MATSPlus() MarchTest    { return march.MATSPlus() }
+func MarchCMinus() MarchTest { return march.MarchCMinus() }
+func MarchSS() MarchTest     { return march.MarchSS() }
+
+// WithRetentionDelays inserts retention delays before the read
+// elements of a March test, the DRAM-specific adaptation.
+func WithRetentionDelays(t MarchTest, delayMs float64) MarchTest {
+	return march.WithRetentionDelays(t, delayMs)
+}
+
+// ContentMatcher is the bit-accurate DC-REF write-time content check.
+type ContentMatcher = refresh.Matcher
+
+// VulnerableCell describes one vulnerable cell for the matcher.
+type VulnerableCell = refresh.VulnerableCell
+
+// NewContentMatcher builds a matcher from a detected distance set.
+func NewContentMatcher(distances []int, rowBits int) (*ContentMatcher, error) {
+	return refresh.NewMatcher(distances, rowBits)
+}
+
+// RepairBudget is the spare-resource capacity available for failure
+// mitigation (spare rows, bit-remap entries, per-word ECC).
+type RepairBudget = repair.Budget
+
+// RepairPlan assigns detected failures to mitigation mechanisms.
+type RepairPlan = repair.Plan
+
+// RepairOptions modulate planning (e.g. refresh-managed exclusions).
+type RepairOptions = repair.Options
+
+// PlanRepair allocates a mitigation budget over detected failures.
+func PlanRepair(failures []BitAddr, budget RepairBudget, opts RepairOptions) (*RepairPlan, error) {
+	return repair.MakePlan(failures, budget, opts)
+}
+
+// RefreshManagedSet derives, from a victim classification, the
+// failures a content-based refresh policy can protect without spare
+// resources.
+func RefreshManagedSet(classified []ClassifiedVictim) map[BitAddr]bool {
+	return repair.BuildRefreshManaged(classified)
+}
+
+// OnlineConfig tunes the in-field test scheduler.
+type OnlineConfig = onlinetest.Config
+
+// OnlineScheduler runs data-preserving test epochs against a live
+// module (Section 1's in-the-field deployment setting).
+type OnlineScheduler = onlinetest.Scheduler
+
+// OnlineEpochResult summarizes one epoch.
+type OnlineEpochResult = onlinetest.EpochResult
+
+// NewOnlineScheduler builds an in-field test scheduler on a host.
+func NewOnlineScheduler(host *Host, cfg OnlineConfig) (*OnlineScheduler, error) {
+	return onlinetest.New(host, cfg)
+}
+
+// ExtendedResult is the outcome of second-order neighbor detection
+// (Tester.DetectExtendedNeighbors) — the generalization the paper's
+// Section 3 scaling argument calls for.
+type ExtendedResult = core.ExtendedResult
+
+// TailGated filters a classification down to victims whose failures
+// the immediate neighborhood could not reproduce — the inputs to
+// Tester.DetectExtendedNeighbors.
+func TailGated(classified []ClassifiedVictim) []Victim {
+	return core.TailGated(classified)
+}
