@@ -428,3 +428,47 @@ func BenchmarkAblationPerBankRefresh(b *testing.B) {
 	b.ReportMetric(100*gainAllBank, "%gain-allbank")
 	b.ReportMetric(100*gainPerBank, "%gain-perbank")
 }
+
+// BenchmarkFullPassParallelism contrasts the serial test host with
+// the chip-sharded host on an 8-chip module: the full-module
+// write-wait-read sweep is the hot path of every detection
+// experiment, and it scales with min(GOMAXPROCS, chips) workers.
+func BenchmarkFullPassParallelism(b *testing.B) {
+	for _, bench := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"sharded", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			cc := parbor.DefaultCouplingConfig()
+			cc.VulnerableRate = 2e-3
+			mod, err := parbor.NewModule(parbor.ModuleConfig{
+				Name:     "bench-par",
+				Vendor:   parbor.VendorA,
+				Chips:    8,
+				Geometry: parbor.Geometry{Banks: 1, Rows: 256, Cols: 8192},
+				Coupling: cc,
+				Faults:   parbor.DefaultFaultsConfig(),
+				Seed:     42,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			host, err := parbor.NewHostWithConfig(mod, parbor.HostConfig{WaitMs: 512, Parallelism: bench.parallelism})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := func(r parbor.Row, buf []uint64) {
+				for i := range buf {
+					buf[i] = 0xaaaaaaaaaaaaaaaa
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				host.FullPass(gen)
+			}
+		})
+	}
+}

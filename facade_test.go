@@ -1,6 +1,7 @@
 package parbor_test
 
 import (
+	"reflect"
 	"testing"
 
 	"parbor"
@@ -139,5 +140,49 @@ func TestFacadeOnlineScheduler(t *testing.T) {
 	}
 	if sched.Rounds() != 1 {
 		t.Errorf("rounds = %d, want 1", sched.Rounds())
+	}
+}
+
+// TestFacadeHostParallelism exercises the public Parallelism knob: a
+// sharded host and a serial host must produce bit-identical failure
+// sets through the public API, on a multi-chip module.
+func TestFacadeHostParallelism(t *testing.T) {
+	build := func(parallelism int) *parbor.Host {
+		cc := parbor.DefaultCouplingConfig()
+		cc.VulnerableRate = 2e-3
+		mod, err := parbor.NewModule(parbor.ModuleConfig{
+			Name:     "facade-par",
+			Vendor:   parbor.VendorC,
+			Chips:    4,
+			Geometry: parbor.Geometry{Banks: 1, Rows: 32, Cols: 2048},
+			Coupling: cc,
+			Faults:   parbor.DefaultFaultsConfig(),
+			Seed:     11,
+		})
+		if err != nil {
+			t.Fatalf("NewModule: %v", err)
+		}
+		host, err := parbor.NewHostWithConfig(mod, parbor.HostConfig{WaitMs: 512, Parallelism: parallelism})
+		if err != nil {
+			t.Fatalf("NewHostWithConfig: %v", err)
+		}
+		return host
+	}
+	serial, sharded := build(1), build(8)
+	gen := func(r parbor.Row, buf []uint64) {
+		for i := range buf {
+			buf[i] = 0x5555555555555555
+		}
+	}
+	want := serial.FullPass(gen)
+	got := sharded.FullPass(gen)
+	if len(want) == 0 {
+		t.Fatal("degenerate module: no failures to compare")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded host diverged from serial: %d vs %d failures", len(got), len(want))
+	}
+	if serial.Passes() != sharded.Passes() {
+		t.Errorf("pass counts diverged: %d vs %d", serial.Passes(), sharded.Passes())
 	}
 }

@@ -43,8 +43,14 @@ type ChipConfig struct {
 
 // Chip is one simulated DRAM chip.
 //
-// Chip is not safe for concurrent use; experiments parallelize across
-// chips, not within one.
+// Concurrency contract: a single Chip is not safe for concurrent use
+// — all of its methods must be serialized by the caller. Distinct
+// Chips, however, share no mutable state (the scramble.Mapping they
+// may share is immutable and documented safe for concurrent use), so
+// different chips of the same module may be driven from different
+// goroutines simultaneously. The test host (package memctl) relies on
+// this to shard full-module passes one-worker-per-chip; experiments
+// parallelize across chips, never within one.
 type Chip struct {
 	geom    Geometry
 	mapping *scramble.Mapping
@@ -58,6 +64,14 @@ type Chip struct {
 	writeAt []float64 // per flat row: sim time (ms) of last write
 	nowMs   float64
 	pass    uint64 // incremented on every Wait; seeds per-pass noise
+
+	// Lazy auto-refresh bookkeeping: rather than rewriting writeAt for
+	// every row on each AutoRefresh (O(rows in chip) per pass), the
+	// chip records the time of the latest refresh and the set of rows
+	// that refresh skipped. ReadRow consults them to reconstruct the
+	// row's effective last-charge time (see chargeTime).
+	lastRefreshMs float64
+	paused        map[int]struct{} // rows excluded from the latest refresh
 
 	meta  []*rowMeta         // lazy per flat row
 	remap map[int32]struct{} // remapped system columns (chip-wide)
@@ -76,6 +90,7 @@ type vcell struct {
 }
 
 type rowMeta struct {
+	raw     []coupling.Victim // ground-truth victims, as drawn from the RNG
 	victims []vcell
 	fcells  []faults.Cell
 	vrtOn   []bool // parallel to fcells; leaky state of VRT cells
@@ -185,6 +200,7 @@ func (c *Chip) rowMetaFor(flat int) *rowMeta {
 	src := c.root.SplitN("row", uint64(flat))
 	raw := c.cc.RowVictims(src.Split("victims"), c.geom.Cols)
 	m := &rowMeta{
+		raw:     raw,
 		victims: make([]vcell, 0, len(raw)),
 		fcells:  c.fc.RowCells(src.Split("faults"), c.geom.Cols),
 	}
@@ -260,7 +276,7 @@ func (c *Chip) ReadRow(bank, row int, dst []uint64) {
 	stored := c.data[idx*c.words : (idx+1)*c.words]
 	copy(dst, stored)
 
-	elapsed := c.nowMs - c.writeAt[idx]
+	elapsed := c.nowMs - c.chargeTime(idx)
 	if elapsed <= 0 {
 		return
 	}
@@ -364,18 +380,41 @@ func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []u
 	}
 }
 
+// chargeTime returns the sim time (ms) the row's cells were last
+// restored to full charge: its last explicit write, or the latest
+// auto-refresh if that came later and did not skip the row.
+func (c *Chip) chargeTime(idx int) float64 {
+	t := c.writeAt[idx]
+	if c.lastRefreshMs > t {
+		if _, skipped := c.paused[idx]; !skipped {
+			t = c.lastRefreshMs
+		}
+	}
+	return t
+}
+
 // AutoRefresh restores full charge on every row except the excluded
 // flat row indices, without altering stored data: the auto-refresh
 // that keeps running for all memory not paused for testing. Host
 // passes invoke it so that only rows actually under test accumulate
 // retention time.
+//
+// The implementation is lazy — O(rows excluded) rather than O(rows in
+// chip): the refresh is recorded as a chip-level timestamp plus the
+// paused set, and ReadRow reconstructs each row's effective charge
+// time on demand (chargeTime). Before the new epoch is installed, the
+// rows it pauses have their charge time from the previous epoch
+// materialized into writeAt, so retention keeps accumulating across
+// consecutive passes that test the same rows. The caller must not
+// mutate except after the call.
 func (c *Chip) AutoRefresh(except map[int]struct{}) {
-	for idx := range c.writeAt {
-		if _, skip := except[idx]; skip {
-			continue
+	for idx := range except {
+		if t := c.chargeTime(idx); t > c.writeAt[idx] {
+			c.writeAt[idx] = t
 		}
-		c.writeAt[idx] = c.nowMs
 	}
+	c.paused = except
+	c.lastRefreshMs = c.nowMs
 }
 
 // FlatRowIndex converts a (bank, row) pair to the flat index used by
@@ -386,10 +425,13 @@ func (c *Chip) FlatRowIndex(bank, row int) int { return c.geom.rowIndex(bank, ro
 func (c *Chip) Now() float64 { return c.nowMs }
 
 // TrueVictims exposes the ground-truth victim population of a row for
-// experiment validation and tests.
+// experiment validation and tests. It reuses the row's cached
+// rowMeta rather than re-deriving the population from the RNG, so
+// validation paths do not pay the materialization cost a second time.
+// The returned slice is a copy the caller may modify.
 func (c *Chip) TrueVictims(bank, row int) []coupling.Victim {
-	src := c.root.SplitN("row", uint64(c.geom.rowIndex(bank, row)))
-	return c.cc.RowVictims(src.Split("victims"), c.geom.Cols)
+	m := c.rowMetaFor(c.geom.rowIndex(bank, row))
+	return append([]coupling.Victim(nil), m.raw...)
 }
 
 // RemappedColumns exposes the ground-truth remapped-column set for

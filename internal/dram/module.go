@@ -35,6 +35,14 @@ type ModuleConfig struct {
 
 // Module is a set of simulated chips tested together, mirroring a
 // DIMM behind one memory-controller channel.
+//
+// Concurrency contract: Module methods themselves must be serialized
+// by the caller, but the *Chips returned by Chip are mutually
+// independent — each chip may be driven from its own goroutine, as
+// long as no single chip is touched by two goroutines at once and no
+// Module-level call (Wait in particular) overlaps the per-chip work.
+// The test host (package memctl) exploits exactly this: fan out per
+// chip, barrier, advance the shared clock, barrier, fan out again.
 type Module struct {
 	name  string
 	chips []*Chip

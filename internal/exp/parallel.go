@@ -1,52 +1,16 @@
 package exp
 
-import (
-	"runtime"
-	"sync"
-)
+import "parbor/internal/par"
 
 // parallelMap runs fn(0..n-1) across up to GOMAXPROCS workers and
 // returns the first error. Every experiment unit (a module, a
 // workload) is independent and deterministic per its own seed, so
 // results do not depend on scheduling.
+//
+// It delegates to the hardened pool in internal/par: panics in fn are
+// recovered into errors (a panicking unit used to kill its worker and
+// deadlock the dispatcher), and after the first error the remaining
+// units are not started.
 func parallelMap(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
+	return par.Map(n, 0, fn)
 }

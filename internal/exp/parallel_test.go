@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParallelMapRecoversPanic pins the bugfix for the runner's panic
+// deadlock: a panic in one experiment unit must come back as an error
+// from parallelMap, not kill a worker goroutine (which left the
+// dispatcher blocked on an undrained channel forever).
+func TestParallelMapRecoversPanic(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- parallelMap(32, func(i int) error {
+			if i == 5 {
+				panic("unit 5 blew up")
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "blew up") {
+			t.Fatalf("err = %v, want recovered panic", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parallelMap deadlocked after a unit panic")
+	}
+}
+
+// TestParallelMapEarlyCancel checks that a failing unit stops the
+// batch instead of letting every remaining unit run.
+func TestParallelMapEarlyCancel(t *testing.T) {
+	const n = 5000
+	var started int32
+	err := parallelMap(n, func(i int) error {
+		if atomic.AddInt32(&started, 1) == 1 {
+			return errors.New("unit failed")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if got := atomic.LoadInt32(&started); got > 64 {
+		t.Fatalf("%d of %d units started after an immediate failure", got, n)
+	}
+}

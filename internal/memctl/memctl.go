@@ -13,9 +13,11 @@ package memctl
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"time"
 
 	"parbor/internal/dram"
+	"parbor/internal/par"
 )
 
 // Row identifies one row of one chip in the module.
@@ -33,15 +35,40 @@ type BitAddr struct {
 	Col  int32
 }
 
+// HostConfig tunes a test host.
+type HostConfig struct {
+	// WaitMs is the retention wait applied between the write and read
+	// halves of every pass; zero selects DefaultWaitMs.
+	WaitMs float64
+	// Parallelism bounds the worker pool the host fans per-chip work
+	// out to: 0 selects GOMAXPROCS, 1 forces the serial path. The
+	// effective pool is additionally capped at the module's chip
+	// count, since one chip is never driven by two workers (the
+	// dram.Chip concurrency contract). Results are bit-identical at
+	// every setting.
+	Parallelism int
+}
+
 // Host drives test passes against a module.
 //
-// Host is not safe for concurrent use.
+// Host is not safe for concurrent use: callers issue one pass at a
+// time. Internally a pass shards its per-chip write/read sweeps
+// across a bounded worker pool (see HostConfig.Parallelism); this is
+// safe because distinct dram.Chips share no mutable state, and it is
+// deterministic because chips are independent and per-chip results
+// are merged in a fixed order, so the output is bit-identical to the
+// serial path.
 type Host struct {
 	mod    *dram.Module
 	waitMs float64
+	par    int
 	passes int
 
-	scratch []uint64
+	// Per-chip buffers: chip i is only ever touched by the one worker
+	// that owns it during a pass, so indexing by chip makes the
+	// buffers race-free without locking.
+	chipScratch [][]uint64 // read-back buffer per chip
+	chipPattern [][]uint64 // generated-pattern buffer per chip
 }
 
 // DefaultWaitMs is the retention wait used by the paper's detection
@@ -52,22 +79,40 @@ const DefaultWaitMs = 4000
 
 // NewHost wraps a module. waitMs is the retention wait applied
 // between the write and read halves of every pass; zero selects
-// DefaultWaitMs.
+// DefaultWaitMs. Per-chip work is parallelized across GOMAXPROCS
+// workers; use NewHostWithConfig to pick a different bound.
 func NewHost(mod *dram.Module, waitMs float64) (*Host, error) {
+	return NewHostWithConfig(mod, HostConfig{WaitMs: waitMs})
+}
+
+// NewHostWithConfig wraps a module with explicit host tuning.
+func NewHostWithConfig(mod *dram.Module, cfg HostConfig) (*Host, error) {
 	if mod == nil {
 		return nil, fmt.Errorf("memctl: nil module")
 	}
-	if waitMs == 0 {
-		waitMs = DefaultWaitMs
+	if cfg.WaitMs == 0 {
+		cfg.WaitMs = DefaultWaitMs
 	}
-	if waitMs < 0 {
-		return nil, fmt.Errorf("memctl: negative wait %v", waitMs)
+	if cfg.WaitMs < 0 {
+		return nil, fmt.Errorf("memctl: negative wait %v", cfg.WaitMs)
 	}
-	return &Host{
-		mod:     mod,
-		waitMs:  waitMs,
-		scratch: make([]uint64, mod.Geometry().Words()),
-	}, nil
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("memctl: negative parallelism %d", cfg.Parallelism)
+	}
+	words := mod.Geometry().Words()
+	chips := mod.Chips()
+	h := &Host{
+		mod:         mod,
+		waitMs:      cfg.WaitMs,
+		par:         cfg.Parallelism,
+		chipScratch: make([][]uint64, chips),
+		chipPattern: make([][]uint64, chips),
+	}
+	for i := 0; i < chips; i++ {
+		h.chipScratch[i] = make([]uint64, words)
+		h.chipPattern[i] = make([]uint64, words)
+	}
+	return h, nil
 }
 
 // Geometry returns the per-chip layout of the module under test.
@@ -82,6 +127,83 @@ func (h *Host) Passes() int { return h.passes }
 
 // WaitMs returns the configured retention wait in milliseconds.
 func (h *Host) WaitMs() float64 { return h.waitMs }
+
+// Parallelism returns the effective worker bound for per-chip
+// sharding: the configured value (GOMAXPROCS when 0) capped at the
+// chip count.
+func (h *Host) Parallelism() int {
+	w := h.par
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if chips := h.mod.Chips(); w > chips {
+		w = chips
+	}
+	return w
+}
+
+// forEachChip runs fn(chip) for every chip, fanning out across the
+// host's worker pool when it is larger than one. fn must confine
+// itself to the given chip and its per-chip host buffers. A panic in
+// fn resurfaces on the calling goroutine.
+func (h *Host) forEachChip(fn func(chip int)) {
+	chips := h.mod.Chips()
+	workers := h.Parallelism()
+	if workers <= 1 || chips <= 1 {
+		for chip := 0; chip < chips; chip++ {
+			fn(chip)
+		}
+		return
+	}
+	if err := par.Map(chips, workers, func(chip int) error {
+		fn(chip)
+		return nil
+	}); err != nil {
+		// fn returns no errors, so this can only be a recovered panic
+		// from fn; restore the serial path's panic semantics.
+		panic(err)
+	}
+}
+
+// rowsByChip buckets row-list indices by chip, preserving the
+// caller's relative order within each chip so the merged results are
+// bit-identical to a serial sweep over the original list.
+func (h *Host) rowsByChip(rows []Row) [][]int {
+	byChip := make([][]int, h.mod.Chips())
+	for i, r := range rows {
+		byChip[r.Chip] = append(byChip[r.Chip], i)
+	}
+	return byChip
+}
+
+// forEachActiveChip runs fn for every chip that owns at least one
+// bucketed row. Small passes often touch a single chip; those skip
+// the pool entirely rather than paying fan-out overhead for no
+// concurrency.
+func (h *Host) forEachActiveChip(byChip [][]int, fn func(chip int)) {
+	var active []int
+	for chip, idxs := range byChip {
+		if len(idxs) > 0 {
+			active = append(active, chip)
+		}
+	}
+	workers := h.Parallelism()
+	if workers <= 1 || len(active) <= 1 {
+		for _, chip := range active {
+			fn(chip)
+		}
+		return
+	}
+	if workers > len(active) {
+		workers = len(active)
+	}
+	if err := par.Map(len(active), workers, func(k int) error {
+		fn(active[k])
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+}
 
 // Pass writes data[i] to rows[i], waits the retention interval, reads
 // the rows back and returns every mismatched bit address. It counts
@@ -104,22 +226,22 @@ func (h *Host) PassWithWait(rows []Row, data [][]uint64, waitMs float64) ([]BitA
 		return nil, fmt.Errorf("memctl: negative wait %v", waitMs)
 	}
 	words := h.mod.Geometry().Words()
-	for i, r := range rows {
+	for i := range data {
 		if len(data[i]) != words {
 			return nil, fmt.Errorf("memctl: row %d: data has %d words, want %d", i, len(data[i]), words)
 		}
-		h.mod.Chip(r.Chip).WriteRow(r.Bank, r.Row, data[i])
 	}
+	byChip := h.rowsByChip(rows)
+	h.forEachActiveChip(byChip, func(chip int) {
+		c := h.mod.Chip(chip)
+		for _, i := range byChip[chip] {
+			c.WriteRow(rows[i].Bank, rows[i].Row, data[i])
+		}
+	})
 	h.mod.Wait(waitMs)
 	h.autoRefreshExcept(rows)
 	h.passes++
-
-	var fails []BitAddr
-	for i, r := range rows {
-		h.mod.Chip(r.Chip).ReadRow(r.Bank, r.Row, h.scratch)
-		fails = h.appendMismatches(fails, r, data[i])
-	}
-	return fails, nil
+	return h.readAndDiff(byChip, rows, data), nil
 }
 
 // autoRefreshExcept models the auto-refresh that keeps running for
@@ -139,6 +261,26 @@ func (h *Host) autoRefreshExcept(rows []Row) {
 	for chip := 0; chip < h.mod.Chips(); chip++ {
 		h.mod.Chip(chip).AutoRefresh(perChip[chip])
 	}
+}
+
+// readAndDiff reads every listed row back and diffs it against
+// want[i], sharding per chip. Results are merged in ascending
+// row-list index, exactly the order a serial sweep produces.
+func (h *Host) readAndDiff(byChip [][]int, rows []Row, want [][]uint64) []BitAddr {
+	perIndex := make([][]BitAddr, len(rows))
+	h.forEachActiveChip(byChip, func(chip int) {
+		c := h.mod.Chip(chip)
+		scratch := h.chipScratch[chip]
+		for _, i := range byChip[chip] {
+			c.ReadRow(rows[i].Bank, rows[i].Row, scratch)
+			perIndex[i] = appendMismatches(nil, rows[i], want[i], scratch)
+		}
+	})
+	var fails []BitAddr
+	for _, f := range perIndex {
+		fails = append(fails, f...)
+	}
+	return fails
 }
 
 // ReadRowInto reads a row's current contents into dst without any
@@ -175,58 +317,69 @@ func (h *Host) Verify(rows []Row, expected [][]uint64, waitMs float64) ([]BitAdd
 		h.autoRefreshExcept(rows)
 	}
 	h.passes++
-	var fails []BitAddr
-	for i, r := range rows {
-		h.mod.Chip(r.Chip).ReadRow(r.Bank, r.Row, h.scratch)
-		fails = h.appendMismatches(fails, r, expected[i])
-	}
-	return fails, nil
+	return h.readAndDiff(h.rowsByChip(rows), rows, expected), nil
 }
 
 // FullPass writes a generated pattern to every row of every chip,
 // waits, reads everything back, and returns the mismatched bit
 // addresses. gen must be deterministic: it is invoked again during
 // the compare phase. It counts as one test.
+//
+// gen may be called concurrently from the per-chip workers (always
+// with distinct buf slices), so it must not mutate shared state; the
+// fills in package patterns satisfy this by construction.
 func (h *Host) FullPass(gen func(r Row, buf []uint64)) []BitAddr {
 	return h.FullPassWithWait(gen, h.waitMs)
 }
 
 // FullPassWithWait is FullPass with an explicit retention wait.
+//
+// The returned failures are sorted by (chip, bank, row, col)
+// regardless of the host's parallelism: each chip's sweep visits its
+// banks, rows and columns in ascending order, and the per-chip
+// results are concatenated in chip order.
 func (h *Host) FullPassWithWait(gen func(r Row, buf []uint64), waitMs float64) []BitAddr {
 	g := h.mod.Geometry()
-	buf := make([]uint64, g.Words())
-	h.forEachRow(func(r Row) {
-		gen(r, buf)
-		h.mod.Chip(r.Chip).WriteRow(r.Bank, r.Row, buf)
+	h.forEachChip(func(chip int) {
+		c := h.mod.Chip(chip)
+		buf := h.chipPattern[chip]
+		for bank := 0; bank < g.Banks; bank++ {
+			for row := 0; row < g.Rows; row++ {
+				gen(Row{Chip: chip, Bank: bank, Row: row}, buf)
+				c.WriteRow(bank, row, buf)
+			}
+		}
 	})
 	h.mod.Wait(waitMs)
 	h.passes++
 
-	var fails []BitAddr
-	h.forEachRow(func(r Row) {
-		gen(r, buf)
-		h.mod.Chip(r.Chip).ReadRow(r.Bank, r.Row, h.scratch)
-		fails = h.appendMismatches(fails, r, buf)
+	perChip := make([][]BitAddr, h.mod.Chips())
+	h.forEachChip(func(chip int) {
+		c := h.mod.Chip(chip)
+		buf, scratch := h.chipPattern[chip], h.chipScratch[chip]
+		var fails []BitAddr
+		for bank := 0; bank < g.Banks; bank++ {
+			for row := 0; row < g.Rows; row++ {
+				r := Row{Chip: chip, Bank: bank, Row: row}
+				gen(r, buf)
+				c.ReadRow(bank, row, scratch)
+				fails = appendMismatches(fails, r, buf, scratch)
+			}
+		}
+		perChip[chip] = fails
 	})
+	var fails []BitAddr
+	for _, f := range perChip {
+		fails = append(fails, f...)
+	}
 	return fails
 }
 
-func (h *Host) forEachRow(fn func(r Row)) {
-	g := h.mod.Geometry()
-	for chip := 0; chip < h.mod.Chips(); chip++ {
-		for bank := 0; bank < g.Banks; bank++ {
-			for row := 0; row < g.Rows; row++ {
-				fn(Row{Chip: chip, Bank: bank, Row: row})
-			}
-		}
-	}
-}
-
-// appendMismatches diffs the read-back scratch buffer against want
-// and appends one BitAddr per flipped bit.
-func (h *Host) appendMismatches(fails []BitAddr, r Row, want []uint64) []BitAddr {
-	for w, got := range h.scratch {
-		diff := got ^ want[w]
+// appendMismatches diffs the read-back buffer got against want and
+// appends one BitAddr per flipped bit, in ascending column order.
+func appendMismatches(fails []BitAddr, r Row, want, got []uint64) []BitAddr {
+	for w, g := range got {
+		diff := g ^ want[w]
 		for diff != 0 {
 			bit := bits.TrailingZeros64(diff)
 			fails = append(fails, BitAddr{

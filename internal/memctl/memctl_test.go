@@ -141,6 +141,15 @@ func TestAppendixTimingNumbers(t *testing.T) {
 	if pass < 413*time.Millisecond || pass > 415*time.Millisecond {
 		t.Errorf("ModulePassTime = %v, want about 413.96ms", pass)
 	}
+	// Exact value: the fractional 667.5 ns per row must survive the
+	// multiplication by 262144 rows — 2*262144*667.5ns + 64ms.
+	// Truncating per-row first (the old bug) loses 262µs per pass.
+	if want := 413962240 * time.Nanosecond; pass != want {
+		t.Errorf("ModulePassTime = %v, want exactly %v (no per-row truncation)", pass, want)
+	}
+	if got := tm.RowAccessNs(8192); got != 667.5 {
+		t.Errorf("RowAccessNs(8KB) = %v, want 667.5", got)
+	}
 
 	// 92 and 132 tests must land on the paper's 38-55 s range.
 	if lo := 92 * pass; lo < 36*time.Second || lo > 40*time.Second {

@@ -23,14 +23,23 @@ func DDR3_1600() Timing {
 	return Timing{TRCD: 13.75, TCCD: 5, TRP: 13.75}
 }
 
-// RowAccessTime returns the time to stream one module row of
-// rowBytes through the controller: tRCD + tCCD per 64-byte cache
-// block + tRP. For an 8 KB module row this is the Appendix's
-// 13.75 + 5*128 + 13.75 = 667.5 ns.
-func (t Timing) RowAccessTime(rowBytes int) time.Duration {
+// RowAccessNs returns the time, in (possibly fractional)
+// nanoseconds, to stream one module row of rowBytes through the
+// controller: tRCD + tCCD per 64-byte cache block + tRP. For an 8 KB
+// module row this is the Appendix's 13.75 + 5*128 + 13.75 = 667.5 ns.
+// Aggregate estimates must accumulate this float and convert to
+// time.Duration once: rounding the per-row time first loses half a
+// nanosecond per row, which ModulePassTime would then multiply by the
+// row count (130 µs per sweep of the paper's 2 GB module).
+func (t Timing) RowAccessNs(rowBytes int) float64 {
 	blocks := float64(rowBytes) / 64
-	ns := t.TRCD + t.TCCD*blocks + t.TRP
-	return time.Duration(ns * float64(time.Nanosecond))
+	return t.TRCD + t.TCCD*blocks + t.TRP
+}
+
+// RowAccessTime is RowAccessNs rounded to a whole-ns time.Duration,
+// for callers displaying a single row's cost.
+func (t Timing) RowAccessTime(rowBytes int) time.Duration {
+	return time.Duration(t.RowAccessNs(rowBytes) * float64(time.Nanosecond))
 }
 
 // TwoBlockAccessTime returns the time to read or write two cache
@@ -46,12 +55,13 @@ func (t Timing) TwoBlockAccessTime() time.Duration {
 // ModulePassTime returns the wall-clock duration of one write-wait-
 // read pass over a whole module: write every row, wait the retention
 // interval, read every row. A module row spans all chips, so its
-// size is chips * per-chip row bits.
+// size is chips * per-chip row bits. The sweep cost is accumulated in
+// float64 nanoseconds and converted to a time.Duration once, so the
+// fractional per-row nanoseconds are not truncated away before the
+// multiplication by the row count.
 func (t Timing) ModulePassTime(g dram.Geometry, chips int, waitMs float64) time.Duration {
 	rowBytes := chips * g.Cols / 8
-	perRow := t.RowAccessTime(rowBytes)
-	rows := g.RowCount()
-	sweep := time.Duration(rows) * perRow
-	wait := time.Duration(waitMs * float64(time.Millisecond))
-	return 2*sweep + wait
+	sweepNs := float64(g.RowCount()) * t.RowAccessNs(rowBytes)
+	ns := 2*sweepNs + waitMs*1e6
+	return time.Duration(ns * float64(time.Nanosecond))
 }

@@ -1,0 +1,92 @@
+// Package par provides the bounded worker pool shared by every
+// fan-out in the repository: experiment batches (package exp) and the
+// per-chip sharding of the test host (package memctl).
+//
+// Map is hardened for long-running batch work: a panic inside a task
+// is recovered into an error instead of killing the process (or, as
+// in an earlier version, killing a worker and deadlocking the
+// dispatcher on an undrained channel), and once any task fails the
+// dispatcher stops handing out the remaining indices so a batch with
+// an early error does not burn the rest of its budget.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map runs fn(0..n-1) across up to `workers` goroutines and returns
+// the first error. workers <= 0 selects GOMAXPROCS. Tasks must be
+// independent; results must not depend on scheduling order.
+//
+// A panicking task is converted to an error carrying the panic value.
+// After the first failure no new indices are dispatched (tasks
+// already running complete), and the first error — in dispatch order
+// of occurrence, not index order — is returned.
+func Map(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := call(fn, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	// done is closed when the first error lands, cancelling dispatch.
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := call(fn, i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+						close(done)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// call invokes fn(i), converting a panic into an error so that one
+// bad task cannot take down the pool (a worker dying mid-pool leaves
+// the dispatcher blocked forever on the task channel).
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("par: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}

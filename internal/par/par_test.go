@@ -1,0 +1,125 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var counts [n]int32
+		if err := Map(n, workers, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapZeroAndNegativeN(t *testing.T) {
+	ran := false
+	if err := Map(0, 4, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Fatalf("n=0: err=%v ran=%v", err, ran)
+	}
+	if err := Map(-3, 4, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Fatalf("n<0: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestMapReturnsFirstError(t *testing.T) {
+	want := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := Map(10, workers, func(i int) error {
+			if i == 3 {
+				return want
+			}
+			return nil
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, want)
+		}
+	}
+}
+
+// TestMapRecoversPanics is the regression test for the deadlock this
+// package fixes: a panicking task used to take its worker down with
+// the dispatch channel undrained, wedging the dispatcher forever.
+// Map must instead surface the panic as an error and return.
+func TestMapRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		done := make(chan error, 1)
+		go func() {
+			done <- Map(50, workers, func(i int) error {
+				if i == 7 {
+					panic(fmt.Sprintf("task %d exploded", i))
+				}
+				return nil
+			})
+		}()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatalf("workers=%d: panic swallowed, got nil error", workers)
+			}
+			if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "exploded") {
+				t.Fatalf("workers=%d: err = %v, want panic error", workers, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: Map deadlocked after a task panic", workers)
+		}
+	}
+}
+
+// TestMapCancelsAfterFirstError checks early cancel: once a task
+// fails, the dispatcher must stop handing out fresh indices rather
+// than running the whole batch.
+func TestMapCancelsAfterFirstError(t *testing.T) {
+	const n = 10000
+	var started int32
+	var mu sync.Mutex
+	failed := false
+	err := Map(n, 2, func(i int) error {
+		atomic.AddInt32(&started, 1)
+		mu.Lock()
+		defer mu.Unlock()
+		if !failed {
+			failed = true
+			return errors.New("first failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	// The two workers may each have held one in-flight task when the
+	// failure landed; anything close to n means cancel did not happen.
+	if got := atomic.LoadInt32(&started); got > 16 {
+		t.Fatalf("%d of %d tasks started after an immediate first-task failure", got, n)
+	}
+}
+
+func TestMapSerialPathStopsOnError(t *testing.T) {
+	var ran int
+	err := Map(100, 1, func(i int) error {
+		ran++
+		if i == 4 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 5 {
+		t.Fatalf("ran=%d err=%v, want 5 tasks then error", ran, err)
+	}
+}

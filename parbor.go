@@ -135,8 +135,21 @@ type BitAddr = memctl.BitAddr
 
 // NewHost wraps a module in a test host. waitMs is the retention
 // wait per test pass; 0 selects the paper's 4 s experimental
-// interval.
+// interval. Per-chip work is sharded across GOMAXPROCS workers; use
+// NewHostWithConfig to bound or disable the pool.
 func NewHost(mod *Module, waitMs float64) (*Host, error) { return memctl.NewHost(mod, waitMs) }
+
+// HostConfig tunes a test host: the retention wait and the
+// Parallelism bound for the host's per-chip worker pool (0 =
+// GOMAXPROCS, 1 = serial). Detection output is bit-identical at every
+// parallelism setting.
+type HostConfig = memctl.HostConfig
+
+// NewHostWithConfig wraps a module in a test host with explicit
+// tuning.
+func NewHostWithConfig(mod *Module, cfg HostConfig) (*Host, error) {
+	return memctl.NewHostWithConfig(mod, cfg)
+}
 
 // Timing holds DDR3 command timings for the analytic test-time
 // model.
