@@ -9,6 +9,7 @@ package parbor_test
 
 import (
 	"testing"
+	"time"
 
 	"parbor"
 	"parbor/internal/exp"
@@ -341,6 +342,68 @@ func BenchmarkAblationDCREFColdStart(b *testing.B) {
 	}
 	b.ReportMetric(100*primed, "%fast-primed")
 	b.ReportMetric(100*cold, "%fast-cold")
+}
+
+// BenchmarkObsOverhead guards the cost of the observability layer on
+// the detection hot path: a full-module write-wait-read sweep with a
+// live Collector attached versus the recorder-free host. The enabled
+// path adds two atomic increments per row operation, so the measured
+// overhead should stay within the noise floor (the issue budget is
+// 2%); the assertion uses a deliberately loose bound so it only trips
+// on structural regressions (a lock or allocation sneaking into the
+// per-row path), not on scheduler jitter.
+func BenchmarkObsOverhead(b *testing.B) {
+	build := func(rec parbor.Recorder) *parbor.Host {
+		cc := parbor.DefaultCouplingConfig()
+		cc.VulnerableRate = 2e-3
+		mod, err := parbor.NewModule(parbor.ModuleConfig{
+			Name:     "bench-obs",
+			Vendor:   parbor.VendorA,
+			Chips:    2,
+			Geometry: parbor.Geometry{Banks: 1, Rows: 256, Cols: 8192},
+			Coupling: cc,
+			Faults:   parbor.DefaultFaultsConfig(),
+			Seed:     42,
+			Recorder: rec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		host, err := parbor.NewHostWithConfig(mod, parbor.HostConfig{WaitMs: 512, Recorder: rec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return host
+	}
+	gen := func(r parbor.Row, buf []uint64) {
+		for i := range buf {
+			buf[i] = 0xaaaaaaaaaaaaaaaa
+		}
+	}
+	measure := func(host *parbor.Host, n int) time.Duration {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			host.FullPass(gen)
+		}
+		return time.Since(start)
+	}
+
+	off := build(nil)
+	on := build(parbor.NewCollector())
+	// Warm both hosts before timing.
+	measure(off, 1)
+	measure(on, 1)
+	var overheadPct float64
+	for i := 0; i < b.N; i++ {
+		const passes = 4
+		tOff := measure(off, passes)
+		tOn := measure(on, passes)
+		overheadPct = 100 * (float64(tOn)/float64(tOff) - 1)
+		if overheadPct > 50 {
+			b.Fatalf("observability overhead %.1f%% on the full-pass hot loop; the enabled path must stay lock- and allocation-free", overheadPct)
+		}
+	}
+	b.ReportMetric(overheadPct, "%overhead")
 }
 
 func benchHost(b *testing.B, vendor parbor.Vendor, seed uint64) *parbor.Host {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"parbor/internal/exp"
+	"parbor/internal/obs"
 	"parbor/internal/sim"
 )
 
@@ -18,15 +19,37 @@ func TestRunEachExperiment(t *testing.T) {
 	for _, which := range []string{
 		"table1", "fig11", "fig12", "fig13", "fig14", "fig15", "table2", "fig16", "appendix", "retention",
 	} {
-		if err := run(which, o, fo); err != nil {
+		if err := run(which, o, fo, nil); err != nil {
 			t.Errorf("run(%q): %v", which, err)
 		}
 	}
 }
 
+func TestRunWithCollectorReconciles(t *testing.T) {
+	o, fo := tinyOpts()
+	col := obs.NewCollector()
+	o.Recorder = col
+	if err := run("table1", o, fo, col); err != nil {
+		t.Fatalf("run(table1): %v", err)
+	}
+	rep := col.Snapshot("paperrepro-test")
+	if err := rep.Reconcile(); err != nil {
+		t.Fatalf("report does not reconcile: %v", err)
+	}
+	if rep.Commands["activate"] == 0 {
+		t.Fatal("no DRAM commands recorded for an instrumented table1 run")
+	}
+	if rep.Figures["table1_tests_A"] != 90 || rep.Figures["table1_tests_B"] != 66 || rep.Figures["table1_tests_C"] != 90 {
+		t.Fatalf("table1 figures %v, want 90/66/90", rep.Figures)
+	}
+	if len(rep.Stages) != 1 || rep.Stages[0].Name != "table1" {
+		t.Fatalf("stages %v, want one table1 stage", rep.Stages)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	o, fo := tinyOpts()
-	if err := run("bogus", o, fo); err == nil {
+	if err := run("bogus", o, fo, nil); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

@@ -9,6 +9,12 @@
 //	parbor -vendor C -sample 5000 -compare-random
 //	parbor -vendor B -classify -show-mapping
 //	parbor -vendor A -profile-retention
+//	parbor -vendor A -report out.json -cpuprofile cpu.pprof
+//
+// With -report, the run emits a structured observability report
+// (schema parbor/report/v1, see DESIGN.md): the configuration, each
+// stage's wall time and DRAM-command delta, command totals, test-host
+// timing histograms, and the derived headline figures.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"parbor"
 	"parbor/internal/core"
 	"parbor/internal/memctl"
+	"parbor/internal/obs"
 	"parbor/internal/patterns"
 	"parbor/internal/retention"
 )
@@ -36,6 +43,9 @@ func main() {
 		extended      = flag.Bool("extended", false, "detect second-order neighbors from tail-gated victims (implies -classify)")
 		profileRet    = flag.Bool("profile-retention", false, "profile per-row retention with the detected patterns")
 		showMapping   = flag.Bool("show-mapping", false, "print the ground-truth mapping segments (simulation only)")
+		report        = flag.String("report", "", "write a JSON observability report to this path")
+		cpuprofile    = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memprofile    = flag.String("memprofile", "", "write a pprof heap profile to this path")
 	)
 	flag.Parse()
 
@@ -50,6 +60,9 @@ func main() {
 		extended:      *extended,
 		profileRet:    *profileRet,
 		showMapping:   *showMapping,
+		report:        *report,
+		cpuprofile:    *cpuprofile,
+		memprofile:    *memprofile,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "parbor: %v\n", err)
@@ -84,6 +97,9 @@ type options struct {
 	extended      bool
 	profileRet    bool
 	showMapping   bool
+	report        string
+	cpuprofile    string
+	memprofile    string
 }
 
 func run(opts options) error {
@@ -91,6 +107,30 @@ func run(opts options) error {
 	vendor, err := parseVendor(vendorName)
 	if err != nil {
 		return err
+	}
+	stopProfiles, err := obs.StartProfiles(opts.cpuprofile, opts.memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintf(os.Stderr, "parbor: %v\n", perr)
+		}
+	}()
+	// The collector stays a nil interface unless a report was
+	// requested, so the default run pays only nil checks.
+	var (
+		col *obs.Collector
+		rec obs.Recorder
+	)
+	if opts.report != "" {
+		col = obs.NewCollector()
+		rec = col
+		col.SetConfig("vendor", vendorName)
+		col.SetConfig("rows", rows)
+		col.SetConfig("chips", chips)
+		col.SetConfig("sample", sample)
+		col.SetConfig("seed", seed)
 	}
 	cols := 8192
 	if vendor == parbor.VendorToy {
@@ -106,11 +146,12 @@ func run(opts options) error {
 		Coupling: cc,
 		Faults:   parbor.DefaultFaultsConfig(),
 		Seed:     seed,
+		Recorder: rec,
 	})
 	if err != nil {
 		return err
 	}
-	host, err := parbor.NewHost(mod, 0)
+	host, err := parbor.NewHostWithConfig(mod, parbor.HostConfig{Recorder: rec})
 	if err != nil {
 		return err
 	}
@@ -134,7 +175,9 @@ func run(opts options) error {
 		fmt.Printf("  distances: %v\n\n", truth.Distances())
 	}
 
+	stopDetect := col.StartStage("detect")
 	report, err := tester.Run()
+	stopDetect()
 	if err != nil {
 		return err
 	}
@@ -158,8 +201,10 @@ func run(opts options) error {
 		ttm.ParborTime(paperGeom, 8, report.TotalTests()).Round(1e7))
 
 	if opts.classify {
+		stopClassify := col.StartStage("classify")
 		victims, _, _ := tester.DiscoverVictims()
 		classified, tests, err := tester.ClassifyVictims(victims, nr.Distances)
+		stopClassify()
 		if err != nil {
 			return err
 		}
@@ -176,7 +221,9 @@ func run(opts options) error {
 			if len(tail) == 0 {
 				fmt.Println("\nNo tail-gated victims: no second-order detection possible.")
 			} else {
+				stopExt := col.StartStage("extended")
 				ext, err := tester.DetectExtendedNeighbors(tail, nr.Distances)
+				stopExt()
 				if err != nil {
 					return err
 				}
@@ -188,7 +235,7 @@ func run(opts options) error {
 	}
 
 	if opts.profileRet {
-		host2, err := memctl.NewHost(mod, 0)
+		host2, err := memctl.NewHostWithConfig(mod, memctl.HostConfig{Recorder: rec})
 		if err != nil {
 			return err
 		}
@@ -204,7 +251,9 @@ func run(opts options) error {
 		if err != nil {
 			return err
 		}
+		stopRet := col.StartStage("retention-profile")
 		profile, err := profiler.ProfileModule(pats)
+		stopRet()
 		if err != nil {
 			return err
 		}
@@ -228,11 +277,12 @@ func run(opts options) error {
 			Coupling: cc,
 			Faults:   parbor.DefaultFaultsConfig(),
 			Seed:     seed,
+			Recorder: rec,
 		})
 		if err != nil {
 			return err
 		}
-		host2, err := parbor.NewHost(mod2, 0)
+		host2, err := parbor.NewHostWithConfig(mod2, parbor.HostConfig{Recorder: rec})
 		if err != nil {
 			return err
 		}
@@ -240,12 +290,31 @@ func run(opts options) error {
 		if err != nil {
 			return err
 		}
+		stopRnd := col.StartStage("random-baseline")
 		random := tester2.RandomPatternTest(report.TotalTests())
+		stopRnd()
 		both := report.AllFailures.Intersect(random)
 		fmt.Printf("\nEqual-budget random baseline: %d failures\n", len(random))
 		fmt.Printf("  found only by PARBOR: %d\n", len(report.AllFailures)-both)
 		fmt.Printf("  found only by random: %d\n", len(random)-both)
 		fmt.Printf("  found by both:        %d\n", both)
+	}
+	if col != nil {
+		col.SetFigure("discovery_tests", float64(nr.DiscoveryTests))
+		col.SetFigure("recursion_tests", float64(nr.RecursionTests))
+		col.SetFigure("fullchip_tests", float64(report.FullChipTests))
+		col.SetFigure("total_tests", float64(report.TotalTests()))
+		col.SetFigure("all_failures", float64(len(report.AllFailures)))
+		col.SetFigure("sample_size", float64(nr.SampleSize))
+		col.SetFigure("hw_wallclock_ms", float64(ttm.ParborTime(paperGeom, 8, report.TotalTests()))/1e6)
+		rep := col.Snapshot("parbor")
+		if err := rep.Reconcile(); err != nil {
+			return fmt.Errorf("report does not reconcile: %w", err)
+		}
+		if err := rep.WriteFile(opts.report); err != nil {
+			return err
+		}
+		fmt.Printf("\nObservability report written to %s\n", opts.report)
 	}
 	return nil
 }

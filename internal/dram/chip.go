@@ -16,6 +16,7 @@ import (
 
 	"parbor/internal/coupling"
 	"parbor/internal/faults"
+	"parbor/internal/obs"
 	"parbor/internal/rng"
 	"parbor/internal/scramble"
 )
@@ -39,6 +40,10 @@ type ChipConfig struct {
 	// Index distinguishes sibling chips within a module so that they
 	// draw independent process variation from the same seed.
 	Index int
+	// Recorder, when non-nil, receives one DRAM-command event per
+	// row write, row read, and refresh epoch. Recording is passive:
+	// results are bit-identical with or without it.
+	Recorder obs.Recorder
 }
 
 // Chip is one simulated DRAM chip.
@@ -75,6 +80,11 @@ type Chip struct {
 
 	meta  []*rowMeta         // lazy per flat row
 	remap map[int32]struct{} // remapped system columns (chip-wide)
+
+	// rec, when non-nil, receives command-accounting events. It must
+	// be safe for concurrent use: sibling chips record into the same
+	// Recorder from their per-chip worker goroutines.
+	rec obs.Recorder
 }
 
 // vcell is a coupling victim with its physical neighborhood resolved
@@ -136,6 +146,7 @@ func NewChip(cfg ChipConfig) (*Chip, error) {
 		data:    make([]uint64, cfg.Geometry.RowCount()*cfg.Geometry.Words()),
 		writeAt: make([]float64, cfg.Geometry.RowCount()),
 		meta:    make([]*rowMeta, cfg.Geometry.RowCount()),
+		rec:     cfg.Recorder,
 	}
 	c.remap = cfg.Faults.RemappedColumns(root.Split("remap"), cfg.Geometry.Cols)
 	return c, nil
@@ -164,6 +175,10 @@ func (c *Chip) WriteRow(bank, row int, src []uint64) {
 	idx := c.geom.rowIndex(bank, row)
 	copy(c.data[idx*c.words:(idx+1)*c.words], src)
 	c.writeAt[idx] = c.nowMs
+	if c.rec != nil {
+		c.rec.Command(obs.CmdActivate, 1)
+		c.rec.Command(obs.CmdWrite, 1)
+	}
 }
 
 // Wait advances simulated time by ms milliseconds. Time only moves
@@ -275,6 +290,10 @@ func (c *Chip) ReadRow(bank, row int, dst []uint64) {
 	idx := c.geom.rowIndex(bank, row)
 	stored := c.data[idx*c.words : (idx+1)*c.words]
 	copy(dst, stored)
+	if c.rec != nil {
+		c.rec.Command(obs.CmdActivate, 1)
+		c.rec.Command(obs.CmdRead, 1)
+	}
 
 	elapsed := c.nowMs - c.chargeTime(idx)
 	if elapsed <= 0 {
@@ -415,7 +434,15 @@ func (c *Chip) AutoRefresh(except map[int]struct{}) {
 	}
 	c.paused = except
 	c.lastRefreshMs = c.nowMs
+	if c.rec != nil {
+		c.rec.Command(obs.CmdRefresh, 1)
+	}
 }
+
+// SetRecorder attaches (or, with nil, detaches) a command recorder
+// after construction. Recording is passive; swapping recorders never
+// changes simulation results.
+func (c *Chip) SetRecorder(r obs.Recorder) { c.rec = r }
 
 // FlatRowIndex converts a (bank, row) pair to the flat index used by
 // AutoRefresh.

@@ -5,6 +5,7 @@ import (
 
 	"parbor/internal/coupling"
 	"parbor/internal/faults"
+	"parbor/internal/obs"
 	"parbor/internal/scramble"
 )
 
@@ -31,6 +32,10 @@ type ModuleConfig struct {
 	// Seed determines the module's process variation. Chips derive
 	// independent streams from it.
 	Seed uint64
+	// Recorder, when non-nil, is attached to every chip for
+	// DRAM-command accounting (see ChipConfig.Recorder). It must be
+	// safe for concurrent use: chips record from per-chip workers.
+	Recorder obs.Recorder
 }
 
 // Module is a set of simulated chips tested together, mirroring a
@@ -66,6 +71,7 @@ func NewModule(cfg ModuleConfig) (*Module, error) {
 			Faults:   cfg.Faults,
 			Seed:     cfg.Seed,
 			Index:    i,
+			Recorder: cfg.Recorder,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("dram: chip %d: %w", i, err)
@@ -95,5 +101,14 @@ func (m *Module) Geometry() Geometry { return m.chips[0].Geometry() }
 func (m *Module) Wait(ms float64) {
 	for _, c := range m.chips {
 		c.Wait(ms)
+	}
+}
+
+// SetRecorder attaches (or, with nil, detaches) a command recorder
+// on every chip. It lets a caller instrument a module it did not
+// construct; recording is passive and never changes results.
+func (m *Module) SetRecorder(r obs.Recorder) {
+	for _, c := range m.chips {
+		c.SetRecorder(r)
 	}
 }

@@ -369,7 +369,7 @@ func Fig15(o Options, sampleSizes []int) ([]Fig15Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			host, err := memctl.NewHost(mod, 0)
+			host, err := memctl.NewHostWithConfig(mod, memctl.HostConfig{Recorder: o.Recorder})
 			if err != nil {
 				return nil, err
 			}

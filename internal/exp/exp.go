@@ -12,6 +12,7 @@ import (
 	"parbor/internal/dram"
 	"parbor/internal/faults"
 	"parbor/internal/memctl"
+	"parbor/internal/obs"
 	"parbor/internal/scramble"
 )
 
@@ -29,6 +30,12 @@ type Options struct {
 	ModulesPerVendor int
 	// Seed fixes all process variation.
 	Seed uint64
+	// Recorder, when non-nil, instruments every module and host the
+	// experiments build: DRAM-command counters, pass counters and
+	// timing histograms accumulate across all modules of the
+	// experiment. It must be safe for concurrent use (Fig12 measures
+	// modules in parallel). Results are bit-identical either way.
+	Recorder obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +70,7 @@ func newModule(name string, vendor scramble.Vendor, o Options, seed uint64) (*dr
 		Coupling: experimentCoupling(),
 		Faults:   faults.DefaultConfig(),
 		Seed:     seed,
+		Recorder: o.Recorder,
 	})
 }
 
@@ -72,7 +80,7 @@ func newTester(name string, vendor scramble.Vendor, o Options, seed uint64) (*co
 	if err != nil {
 		return nil, nil, err
 	}
-	host, err := memctl.NewHost(mod, 0)
+	host, err := memctl.NewHostWithConfig(mod, memctl.HostConfig{Recorder: o.Recorder})
 	if err != nil {
 		return nil, nil, err
 	}

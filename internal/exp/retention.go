@@ -65,7 +65,7 @@ func Retention(o Options) ([]RetentionRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			host, err := memctl.NewHost(mod, 0)
+			host, err := memctl.NewHostWithConfig(mod, memctl.HostConfig{Recorder: o.Recorder})
 			if err != nil {
 				return nil, err
 			}

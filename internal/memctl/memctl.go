@@ -17,7 +17,28 @@ import (
 	"time"
 
 	"parbor/internal/dram"
+	"parbor/internal/obs"
 	"parbor/internal/par"
+)
+
+// Timing-series and counter names the host records into an attached
+// obs.Recorder. Exported so report readers and tests can reference
+// them without string literals.
+const (
+	// SeriesPass is the wall time of one whole write-wait-read pass.
+	SeriesPass = "host.pass"
+	// SeriesWriteSweep and SeriesReadSweep are the wall times of the
+	// write and read halves of a pass.
+	SeriesWriteSweep = "host.write_sweep"
+	SeriesReadSweep  = "host.read_sweep"
+	// SeriesChipShard is the per-chip task duration inside the
+	// worker pool; its spread exposes shard load imbalance.
+	SeriesChipShard = "host.chip_shard"
+	// CounterPasses counts test passes, CounterRowsTested the rows
+	// written and read back across all passes (full-module sweeps
+	// count every row of every chip).
+	CounterPasses     = "host.passes"
+	CounterRowsTested = "host.rows_tested"
 )
 
 // Row identifies one row of one chip in the module.
@@ -47,6 +68,10 @@ type HostConfig struct {
 	// dram.Chip concurrency contract). Results are bit-identical at
 	// every setting.
 	Parallelism int
+	// Recorder, when non-nil, receives pass counters and timing
+	// histograms (see the Series*/Counter* names). It observes only;
+	// results are bit-identical with or without it.
+	Recorder obs.Recorder
 }
 
 // Host drives test passes against a module.
@@ -63,6 +88,7 @@ type Host struct {
 	waitMs float64
 	par    int
 	passes int
+	rec    obs.Recorder
 
 	// Per-chip buffers: chip i is only ever touched by the one worker
 	// that owns it during a pass, so indexing by chip makes the
@@ -105,6 +131,7 @@ func NewHostWithConfig(mod *dram.Module, cfg HostConfig) (*Host, error) {
 		mod:         mod,
 		waitMs:      cfg.WaitMs,
 		par:         cfg.Parallelism,
+		rec:         cfg.Recorder,
 		chipScratch: make([][]uint64, chips),
 		chipPattern: make([][]uint64, chips),
 	}
@@ -142,6 +169,41 @@ func (h *Host) Parallelism() int {
 	return w
 }
 
+// startClock returns the current time when a recorder is attached,
+// and the zero time otherwise, so the disabled path never reads the
+// clock.
+func (h *Host) startClock() time.Time {
+	if h.rec == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeSince records the elapsed time since start into the named
+// series; a zero start (recorder disabled) is a no-op.
+func (h *Host) observeSince(name string, start time.Time) {
+	if h.rec == nil || start.IsZero() {
+		return
+	}
+	h.rec.ObserveNs(name, int64(time.Since(start)))
+}
+
+// add increments a named counter on the attached recorder, if any.
+func (h *Host) add(name string, n uint64) {
+	if h.rec != nil {
+		h.rec.Add(name, n)
+	}
+}
+
+// shardTimer returns the worker-pool callback that histograms
+// per-chip shard durations, or nil when no recorder is attached.
+func (h *Host) shardTimer() func(i int, d time.Duration) {
+	if h.rec == nil {
+		return nil
+	}
+	return func(_ int, d time.Duration) { h.rec.ObserveNs(SeriesChipShard, int64(d)) }
+}
+
 // forEachChip runs fn(chip) for every chip, fanning out across the
 // host's worker pool when it is larger than one. fn must confine
 // itself to the given chip and its per-chip host buffers. A panic in
@@ -155,10 +217,10 @@ func (h *Host) forEachChip(fn func(chip int)) {
 		}
 		return
 	}
-	if err := par.Map(chips, workers, func(chip int) error {
+	if err := par.MapTimed(chips, workers, func(chip int) error {
 		fn(chip)
 		return nil
-	}); err != nil {
+	}, h.shardTimer()); err != nil {
 		// fn returns no errors, so this can only be a recovered panic
 		// from fn; restore the serial path's panic semantics.
 		panic(err)
@@ -197,10 +259,10 @@ func (h *Host) forEachActiveChip(byChip [][]int, fn func(chip int)) {
 	if workers > len(active) {
 		workers = len(active)
 	}
-	if err := par.Map(len(active), workers, func(k int) error {
+	if err := par.MapTimed(len(active), workers, func(k int) error {
 		fn(active[k])
 		return nil
-	}); err != nil {
+	}, h.shardTimer()); err != nil {
 		panic(err)
 	}
 }
@@ -231,6 +293,7 @@ func (h *Host) PassWithWait(rows []Row, data [][]uint64, waitMs float64) ([]BitA
 			return nil, fmt.Errorf("memctl: row %d: data has %d words, want %d", i, len(data[i]), words)
 		}
 	}
+	passStart := h.startClock()
 	byChip := h.rowsByChip(rows)
 	h.forEachActiveChip(byChip, func(chip int) {
 		c := h.mod.Chip(chip)
@@ -238,10 +301,17 @@ func (h *Host) PassWithWait(rows []Row, data [][]uint64, waitMs float64) ([]BitA
 			c.WriteRow(rows[i].Bank, rows[i].Row, data[i])
 		}
 	})
+	h.observeSince(SeriesWriteSweep, passStart)
 	h.mod.Wait(waitMs)
 	h.autoRefreshExcept(rows)
 	h.passes++
-	return h.readAndDiff(byChip, rows, data), nil
+	readStart := h.startClock()
+	fails := h.readAndDiff(byChip, rows, data)
+	h.observeSince(SeriesReadSweep, readStart)
+	h.observeSince(SeriesPass, passStart)
+	h.add(CounterPasses, 1)
+	h.add(CounterRowsTested, uint64(len(rows)))
+	return fails, nil
 }
 
 // autoRefreshExcept models the auto-refresh that keeps running for
@@ -317,7 +387,13 @@ func (h *Host) Verify(rows []Row, expected [][]uint64, waitMs float64) ([]BitAdd
 		h.autoRefreshExcept(rows)
 	}
 	h.passes++
-	return h.readAndDiff(h.rowsByChip(rows), rows, expected), nil
+	readStart := h.startClock()
+	fails := h.readAndDiff(h.rowsByChip(rows), rows, expected)
+	h.observeSince(SeriesReadSweep, readStart)
+	h.observeSince(SeriesPass, readStart)
+	h.add(CounterPasses, 1)
+	h.add(CounterRowsTested, uint64(len(rows)))
+	return fails, nil
 }
 
 // FullPass writes a generated pattern to every row of every chip,
@@ -340,6 +416,7 @@ func (h *Host) FullPass(gen func(r Row, buf []uint64)) []BitAddr {
 // results are concatenated in chip order.
 func (h *Host) FullPassWithWait(gen func(r Row, buf []uint64), waitMs float64) []BitAddr {
 	g := h.mod.Geometry()
+	passStart := h.startClock()
 	h.forEachChip(func(chip int) {
 		c := h.mod.Chip(chip)
 		buf := h.chipPattern[chip]
@@ -350,9 +427,11 @@ func (h *Host) FullPassWithWait(gen func(r Row, buf []uint64), waitMs float64) [
 			}
 		}
 	})
+	h.observeSince(SeriesWriteSweep, passStart)
 	h.mod.Wait(waitMs)
 	h.passes++
 
+	readStart := h.startClock()
 	perChip := make([][]BitAddr, h.mod.Chips())
 	h.forEachChip(func(chip int) {
 		c := h.mod.Chip(chip)
@@ -372,6 +451,10 @@ func (h *Host) FullPassWithWait(gen func(r Row, buf []uint64), waitMs float64) [
 	for _, f := range perChip {
 		fails = append(fails, f...)
 	}
+	h.observeSince(SeriesReadSweep, readStart)
+	h.observeSince(SeriesPass, passStart)
+	h.add(CounterPasses, 1)
+	h.add(CounterRowsTested, uint64(h.mod.Chips()*g.RowCount()))
 	return fails
 }
 

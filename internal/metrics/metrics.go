@@ -19,8 +19,13 @@ func WeightedSpeedup(shared, alone []float64) (float64, error) {
 	}
 	ws := 0.0
 	for i := range shared {
-		if alone[i] <= 0 {
+		// NaN compares false against everything, so it would slide past
+		// the <= 0 guard and poison the sum.
+		if math.IsNaN(alone[i]) || alone[i] <= 0 {
 			return 0, fmt.Errorf("metrics: non-positive alone IPC %v at core %d", alone[i], i)
+		}
+		if math.IsNaN(shared[i]) {
+			return 0, fmt.Errorf("metrics: NaN shared IPC at core %d", i)
 		}
 		ws += shared[i] / alone[i]
 	}
@@ -46,7 +51,7 @@ func GeoMean(xs []float64) (float64, error) {
 	}
 	sum := 0.0
 	for _, x := range xs {
-		if x <= 0 {
+		if math.IsNaN(x) || x <= 0 {
 			return 0, fmt.Errorf("metrics: geomean requires positive values, got %v", x)
 		}
 		sum += math.Log(x)
@@ -92,7 +97,9 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, fmt.Errorf("metrics: percentile of empty slice")
 	}
-	if p < 0 || p > 100 {
+	// NaN passes a plain range check (all comparisons are false) and
+	// int(math.Ceil(NaN)) would then index out of bounds.
+	if math.IsNaN(p) || p < 0 || p > 100 {
 		return 0, fmt.Errorf("metrics: percentile %v out of [0,100]", p)
 	}
 	sorted := append([]float64(nil), xs...)
@@ -107,8 +114,8 @@ func Percentile(xs []float64, p float64) (float64, error) {
 // Normalize divides every element by base, returning relative values
 // (e.g. speedups over a baseline).
 func Normalize(xs []float64, base float64) ([]float64, error) {
-	if base == 0 {
-		return nil, fmt.Errorf("metrics: normalize by zero")
+	if math.IsNaN(base) || base == 0 {
+		return nil, fmt.Errorf("metrics: normalize by %v", base)
 	}
 	out := make([]float64, len(xs))
 	for i, x := range xs {

@@ -19,6 +19,16 @@ func TestWeightedSpeedup(t *testing.T) {
 	if _, err := WeightedSpeedup([]float64{1}, []float64{0}); err == nil {
 		t.Error("zero alone IPC accepted")
 	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN alone IPC accepted")
+	}
+	if _, err := WeightedSpeedup([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN shared IPC accepted")
+	}
+	ws, err = WeightedSpeedup(nil, nil)
+	if err != nil || ws != 0 {
+		t.Errorf("empty WeightedSpeedup = (%v, %v), want (0, nil)", ws, err)
+	}
 }
 
 func TestMeanStdDev(t *testing.T) {
@@ -47,6 +57,9 @@ func TestGeoMean(t *testing.T) {
 	}
 	if _, err := GeoMean([]float64{1, -2}); err == nil {
 		t.Error("negative accepted")
+	}
+	if _, err := GeoMean([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN accepted")
 	}
 }
 
@@ -82,6 +95,14 @@ func TestPercentile(t *testing.T) {
 	if _, err := Percentile(xs, 101); err == nil {
 		t.Error("out-of-range percentile accepted")
 	}
+	// NaN sails past p < 0 || p > 100 (all comparisons false) and used
+	// to drive an out-of-bounds index via int(math.Ceil(NaN)).
+	if _, err := Percentile(xs, math.NaN()); err == nil {
+		t.Error("NaN percentile accepted")
+	}
+	if got, err := Percentile([]float64{7}, 50); err != nil || got != 7 {
+		t.Errorf("single-element Percentile = (%v, %v), want (7, nil)", got, err)
+	}
 }
 
 func TestNormalize(t *testing.T) {
@@ -94,5 +115,8 @@ func TestNormalize(t *testing.T) {
 	}
 	if _, err := Normalize([]float64{1}, 0); err == nil {
 		t.Error("zero base accepted")
+	}
+	if _, err := Normalize([]float64{1}, math.NaN()); err == nil {
+		t.Error("NaN base accepted")
 	}
 }

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts the pprof hooks the CLIs expose: a CPU
+// profile written to cpuPath (when non-empty) for the duration of
+// the run, and a heap profile written to memPath (when non-empty) at
+// stop time. The returned stop function must be called exactly once
+// — typically deferred — and reports any error from finalizing the
+// profiles.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: closing cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("obs: creating mem profile: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: writing mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: closing mem profile: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

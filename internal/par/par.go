@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Map runs fn(0..n-1) across up to `workers` goroutines and returns
@@ -25,6 +26,17 @@ import (
 // already running complete), and the first error — in dispatch order
 // of occurrence, not index order — is returned.
 func Map(n, workers int, fn func(i int) error) error {
+	return MapTimed(n, workers, fn, nil)
+}
+
+// MapTimed is Map with per-task observability: when onTask is
+// non-nil it is invoked after each task with the task index and its
+// wall-clock duration, including failed and panicking tasks. onTask
+// runs on the worker goroutine that executed the task and so must be
+// safe for concurrent use; the pool's scheduling, error semantics
+// and results are unchanged by it. The test host uses this to
+// histogram per-chip shard times and expose load imbalance.
+func MapTimed(n, workers int, fn func(i int) error, onTask func(i int, d time.Duration)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -36,7 +48,7 @@ func Map(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := call(fn, i); err != nil {
+			if err := call(fn, i, onTask); err != nil {
 				return err
 			}
 		}
@@ -55,7 +67,7 @@ func Map(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if err := call(fn, i); err != nil {
+				if err := call(fn, i, onTask); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -81,11 +93,20 @@ dispatch:
 
 // call invokes fn(i), converting a panic into an error so that one
 // bad task cannot take down the pool (a worker dying mid-pool leaves
-// the dispatcher blocked forever on the task channel).
-func call(fn func(i int) error, i int) (err error) {
+// the dispatcher blocked forever on the task channel). The duration
+// callback fires from the deferred handler so panicking tasks are
+// timed too.
+func call(fn func(i int) error, i int, onTask func(i int, d time.Duration)) (err error) {
+	var start time.Time
+	if onTask != nil {
+		start = time.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("par: task %d panicked: %v", i, r)
+		}
+		if onTask != nil {
+			onTask(i, time.Since(start))
 		}
 	}()
 	return fn(i)

@@ -1,0 +1,147 @@
+package scramble
+
+import (
+	"testing"
+)
+
+// checkBijective asserts the structural invariants every Mapping must
+// hold: the segments are a partition of the chunk (each system offset
+// appears exactly once — the mapping is a bijection over the row
+// space), neighbor links are mutual inverses, neighbors never leave
+// the aligned chunk, and every realized distance is advertised.
+func checkBijective(t *testing.T, m *Mapping, sysBase int) {
+	t.Helper()
+	chunk := m.ChunkBits()
+	seen := make([]int, chunk)
+	for _, seg := range m.Segments() {
+		for _, o := range seg {
+			if o < 0 || o >= chunk {
+				t.Fatalf("segment offset %d outside chunk [0,%d)", o, chunk)
+			}
+			seen[o]++
+		}
+	}
+	for o, n := range seen {
+		if n != 1 {
+			t.Fatalf("offset %d covered %d times, want exactly once", o, n)
+		}
+	}
+
+	distances := make(map[int]bool)
+	for _, d := range m.Distances() {
+		distances[d] = true
+	}
+	for d := range distances {
+		if !distances[-d] {
+			t.Fatalf("Distances() not symmetric: has %d but not %d", d, -d)
+		}
+	}
+
+	base := sysBase - sysBase%chunk
+	for o := 0; o < chunk; o++ {
+		bit := base + o
+		left, right, hasLeft, hasRight := m.Neighbors(bit)
+		if hasLeft {
+			if left/chunk != bit/chunk {
+				t.Fatalf("bit %d: left neighbor %d leaves the chunk", bit, left)
+			}
+			if !distances[left-bit] {
+				t.Fatalf("bit %d: left distance %d not in Distances() %v", bit, left-bit, m.Distances())
+			}
+			// The left neighbor's right neighbor must be this cell.
+			_, back, _, ok := m.Neighbors(left)
+			if !ok || back != bit {
+				t.Fatalf("bit %d: left link not mutual (left=%d, its right=%d, ok=%v)", bit, left, back, ok)
+			}
+		}
+		if hasRight {
+			if right/chunk != bit/chunk {
+				t.Fatalf("bit %d: right neighbor %d leaves the chunk", bit, right)
+			}
+			if !distances[right-bit] {
+				t.Fatalf("bit %d: right distance %d not in Distances() %v", bit, right-bit, m.Distances())
+			}
+			back, _, ok, _ := m.Neighbors(right)
+			if !ok || back != bit {
+				t.Fatalf("bit %d: right link not mutual (right=%d, its left=%d, ok=%v)", bit, right, back, ok)
+			}
+		}
+	}
+}
+
+// fuzzPermutation derives a permutation of [0, n) from a seed
+// (Fisher-Yates over a splitmix64 stream).
+func fuzzPermutation(n int, seed uint64) []int {
+	next := func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// FuzzScrambleBijective checks, for every vendor profile and for
+// arbitrary fuzz-derived segment layouts, that the mapping is a
+// bijection over the row space and that its neighbor tables are
+// self-consistent at arbitrary system addresses.
+func FuzzScrambleBijective(f *testing.F) {
+	for _, v := range []Vendor{VendorLinear, VendorA, VendorB, VendorC, VendorToy} {
+		f.Add(int(v), uint32(0), uint64(1), uint8(1))
+	}
+	f.Add(int(VendorA), uint32(1<<20), uint64(99), uint8(4))
+	f.Fuzz(func(t *testing.T, vendorInt int, chunkIdx uint32, seed uint64, segCount uint8) {
+		// Part 1: the built-in profiles, probed at a fuzz-chosen chunk.
+		v := Vendor(vendorInt)
+		if m, err := New(v); err == nil {
+			checkBijective(t, m, int(chunkIdx%(1<<16))*m.ChunkBits())
+		} else if v >= VendorLinear && v <= VendorToy {
+			t.Fatalf("built-in vendor %v failed to build: %v", v, err)
+		}
+
+		// Part 2: a custom mapping from a fuzz-derived permutation,
+		// split into up to segCount segments. FromSegments must accept
+		// every partition of a permutation and produce a mapping that
+		// passes the same invariants.
+		const chunkBits = 32
+		perm := fuzzPermutation(chunkBits, seed)
+		pieces := int(segCount)%8 + 1
+		per := (chunkBits + pieces - 1) / pieces
+		var segs [][]int
+		for start := 0; start < chunkBits; start += per {
+			end := start + per
+			if end > chunkBits {
+				end = chunkBits
+			}
+			segs = append(segs, perm[start:end])
+		}
+		m, err := FromSegments(VendorLinear, chunkBits, segs)
+		if err != nil {
+			t.Fatalf("FromSegments rejected a valid partition: %v", err)
+		}
+		checkBijective(t, m, int(chunkIdx%1024)*chunkBits)
+
+		// Part 3: corrupting the partition must be rejected. Duplicate
+		// one offset by overwriting the first element of the last
+		// segment with the first element of the first.
+		if len(segs) > 1 {
+			bad := make([][]int, len(segs))
+			for i, s := range segs {
+				bad[i] = append([]int(nil), s...)
+			}
+			bad[len(bad)-1][0] = bad[0][0]
+			if _, err := FromSegments(VendorLinear, chunkBits, bad); err == nil {
+				t.Fatal("FromSegments accepted a duplicated offset")
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fuzzRequests derives a deterministic request sequence from a fuzz
+// seed with a splitmix64 step, so the fuzzer explores request shapes
+// without shipping a slice through the corpus.
+func fuzzRequests(n uint16, seed uint64) []Request {
+	next := func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	reqs := make([]Request, n%512)
+	for i := range reqs {
+		reqs[i] = Request{
+			InstGap: int(next() % math.MaxInt32),
+			Write:   next()&1 != 0,
+			Row:     int64(next() >> 1), // keep non-negative
+		}
+	}
+	return reqs
+}
+
+// FuzzTraceRoundTrip checks that WriteTrace/ReadTrace form an exact
+// round trip for every writable input, that unwritable inputs
+// (oversized app names) are rejected instead of silently truncated,
+// and that no truncation of a valid trace can make ReadTrace panic.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add("mcf", 33.0, 0.20, 0.28, uint32(60000), 0.10, uint16(64), uint64(1))
+	f.Add("", 0.0, 0.0, 0.0, uint32(0), 0.0, uint16(0), uint64(0))
+	f.Add(strings.Repeat("x", 256), 1.0, 0.5, 0.5, uint32(10), 0.5, uint16(3), uint64(7))
+	f.Add("nan", math.NaN(), math.Inf(1), math.Inf(-1), uint32(1), -0.0, uint16(1), uint64(9))
+	f.Fuzz(func(t *testing.T, name string, mpki, rowLoc, writeFrac float64, footprint uint32, cmp float64, n uint16, seed uint64) {
+		app := App{
+			Name:             name,
+			MPKI:             mpki,
+			RowLocality:      rowLoc,
+			WriteFrac:        writeFrac,
+			FootprintRows:    int(footprint),
+			ContentMatchProb: cmp,
+		}
+		reqs := fuzzRequests(n, seed)
+		var buf bytes.Buffer
+		err := WriteTrace(&buf, app, reqs)
+		if len(name) > 255 {
+			if err == nil {
+				t.Fatalf("WriteTrace accepted a %d-byte app name", len(name))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+
+		gotApp, gotReqs, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadTrace: %v", err)
+		}
+		if gotApp.Name != app.Name || gotApp.FootprintRows != app.FootprintRows {
+			t.Fatalf("app header round trip: got %+v, want %+v", gotApp, app)
+		}
+		// Compare floats bitwise so NaN payloads and signed zeros
+		// survive the round trip too.
+		for i, pair := range [][2]float64{
+			{gotApp.MPKI, app.MPKI},
+			{gotApp.RowLocality, app.RowLocality},
+			{gotApp.WriteFrac, app.WriteFrac},
+			{gotApp.ContentMatchProb, app.ContentMatchProb},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("float field %d round trip: %x != %x", i, math.Float64bits(pair[0]), math.Float64bits(pair[1]))
+			}
+		}
+		if len(gotReqs) != len(reqs) {
+			t.Fatalf("%d requests round tripped, want %d", len(gotReqs), len(reqs))
+		}
+		for i := range reqs {
+			if gotReqs[i] != reqs[i] {
+				t.Fatalf("request %d round trip: got %+v, want %+v", i, gotReqs[i], reqs[i])
+			}
+		}
+
+		// Every proper prefix of a valid trace must produce an error,
+		// never a panic and never a silent success.
+		data := buf.Bytes()
+		for _, cut := range []int{0, 1, 3, 4, 5, len(data) / 2, len(data) - 1} {
+			if cut < 0 || cut >= len(data) {
+				continue
+			}
+			if _, _, err := ReadTrace(bytes.NewReader(data[:cut])); err == nil {
+				t.Fatalf("ReadTrace accepted a trace truncated to %d of %d bytes", cut, len(data))
+			}
+		}
+	})
+}
+
+// FuzzReadTrace feeds arbitrary bytes to the reader: it may reject
+// them, but must never panic or over-allocate.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("PBTR"))
+	f.Add([]byte("PBTR\x01\x00"))
+	f.Add([]byte("XXXX\x01\x00"))
+	var valid bytes.Buffer
+	if err := WriteTrace(&valid, App{Name: "seed"}, []Request{{InstGap: 1, Row: 2, Write: true}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = ReadTrace(bytes.NewReader(data))
+	})
+}

@@ -58,7 +58,16 @@ func WriteTrace(w io.Writer, app App, reqs []Request) error {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
-	for _, r := range reqs {
+	for i, r := range reqs {
+		// Negative values would wrap through the uvarint encoding and
+		// come back as huge positive rows/gaps; reject them up front so
+		// every written trace round-trips.
+		if r.InstGap < 0 {
+			return fmt.Errorf("trace: request %d: negative instruction gap %d", i, r.InstGap)
+		}
+		if r.Row < 0 {
+			return fmt.Errorf("trace: request %d: negative row %d", i, r.Row)
+		}
 		var flags byte
 		if r.Write {
 			flags |= 1
@@ -125,7 +134,14 @@ func ReadTrace(r io.Reader) (App, []Request, error) {
 	if count > maxCount {
 		return App{}, nil, fmt.Errorf("trace: implausible request count %d", count)
 	}
-	reqs := make([]Request, 0, count)
+	// Cap the up-front allocation: the header's count is untrusted, and
+	// a record needs at least 3 bytes, so a short input claiming 2^30
+	// records must not allocate 24 GiB before the first read fails.
+	capHint := count
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	reqs := make([]Request, 0, capHint)
 	for i := uint64(0); i < count; i++ {
 		flags, err := br.ReadByte()
 		if err != nil {
@@ -141,6 +157,9 @@ func ReadTrace(r io.Reader) (App, []Request, error) {
 		}
 		if gap > math.MaxInt32 {
 			return App{}, nil, fmt.Errorf("trace: request %d: gap %d out of range", i, gap)
+		}
+		if row > math.MaxInt64 {
+			return App{}, nil, fmt.Errorf("trace: request %d: row %d out of range", i, row)
 		}
 		reqs = append(reqs, Request{
 			InstGap: int(gap),

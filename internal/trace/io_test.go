@@ -73,6 +73,55 @@ func TestWriteTraceRejectsLongName(t *testing.T) {
 	}
 }
 
+func TestWriteTraceRejectsNegativeFields(t *testing.T) {
+	app, _ := AppByName("gcc")
+	cases := map[string][]Request{
+		"negative gap": {{InstGap: -1, Row: 0}},
+		"negative row": {{InstGap: 1, Row: -5}},
+	}
+	for name, reqs := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteTrace(&buf, app, reqs); err == nil {
+				t.Error("negative request field accepted")
+			}
+		})
+	}
+}
+
+func TestReadTraceRejectsTruncatedVarint(t *testing.T) {
+	app, _ := AppByName("gcc")
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, app, []Request{{InstGap: 1 << 20, Row: 1 << 20}}); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	// Cut inside the final varint: every prefix must error cleanly.
+	data := buf.Bytes()
+	for cut := len(data) - 3; cut < len(data); cut++ {
+		if _, _, err := ReadTrace(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("trace truncated to %d/%d bytes accepted", cut, len(data))
+		}
+	}
+}
+
+func TestReadTraceRejectsImplausibleCount(t *testing.T) {
+	app, _ := AppByName("gcc")
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, app, nil); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	// The count field is the final 8 bytes of an empty trace; claim
+	// 2^40 records with no data behind them.
+	data := buf.Bytes()
+	for i := 0; i < 8; i++ {
+		data[len(data)-8+i] = 0
+	}
+	data[len(data)-3] = 1 // little-endian 2^40
+	if _, _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+		t.Error("implausible request count accepted")
+	}
+}
+
 func TestEmptyTraceRoundTrip(t *testing.T) {
 	app, _ := AppByName("hmmer")
 	var buf bytes.Buffer

@@ -38,6 +38,7 @@ import (
 	"parbor/internal/faults"
 	"parbor/internal/march"
 	"parbor/internal/memctl"
+	"parbor/internal/obs"
 	"parbor/internal/onlinetest"
 	"parbor/internal/patterns"
 	"parbor/internal/refresh"
@@ -150,6 +151,30 @@ type HostConfig = memctl.HostConfig
 func NewHostWithConfig(mod *Module, cfg HostConfig) (*Host, error) {
 	return memctl.NewHostWithConfig(mod, cfg)
 }
+
+// Recorder receives observability events (DRAM-command counts, pass
+// counters, timing histograms) from an instrumented module and host.
+// Attach one via ModuleConfig.Recorder and HostConfig.Recorder; nil
+// disables instrumentation at near-zero cost, and results are
+// bit-identical either way.
+type Recorder = obs.Recorder
+
+// Collector is the standard Recorder: atomic counters plus
+// histograms, with stage accounting and a JSON report snapshot.
+type Collector = obs.Collector
+
+// ObsReport is the JSON-serializable observability report a
+// Collector snapshots: config echo, per-stage wall time and command
+// deltas, command totals, timing summaries, derived figures.
+type ObsReport = obs.Report
+
+// NewCollector returns an empty Collector whose wall clock starts
+// now.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// ReadObsReport loads and validates a report written by
+// ObsReport.WriteFile.
+func ReadObsReport(path string) (*ObsReport, error) { return obs.ReadReportFile(path) }
 
 // Timing holds DDR3 command timings for the analytic test-time
 // model.
