@@ -9,6 +9,9 @@
 //	dcref -list-apps
 //	dcref -workloads 8 -report out.json -cpuprofile cpu.pprof
 //
+// -timeout bounds the run, and SIGINT/SIGTERM cancel it
+// cooperatively: remaining workload cells are not dispatched.
+//
 // With -report, the run emits a structured observability report
 // (schema parbor/report/v1, see DESIGN.md) carrying the run
 // configuration, the study's wall time, and the headline summary
@@ -18,9 +21,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"parbor"
 	"parbor/internal/exp"
@@ -53,8 +59,17 @@ func main() {
 		report     = flag.String("report", "", "write a JSON observability report to this path")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this path")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *listApps {
 		fmt.Printf("%-12s%8s%10s%10s%12s%12s\n", "App", "MPKI", "RowLoc", "WriteFr", "Rows", "MatchProb")
@@ -87,7 +102,7 @@ func main() {
 	}
 
 	stopStudy := col.StartStage("fig16")
-	rows, summaries, err := exp.Fig16(exp.Fig16Options{
+	rows, summaries, err := exp.Fig16Ctx(ctx, exp.Fig16Options{
 		Workloads: *workloads,
 		Cores:     *cores,
 		SimNs:     *simNs,

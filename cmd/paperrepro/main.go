@@ -12,6 +12,10 @@
 // Experiments: table1, fig11, fig12, fig13, fig14, fig15, table2,
 // fig16, appendix, retention, all.
 //
+// -timeout bounds the whole run, and SIGINT/SIGTERM cancel it
+// cooperatively; a cancelled run exits with an error instead of
+// printing partial tables.
+//
 // With -report, the run emits a structured observability report
 // (schema parbor/report/v1, see DESIGN.md) with one stage per
 // experiment: its wall time, the DRAM commands the substrate issued
@@ -19,9 +23,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"parbor/internal/exp"
 	"parbor/internal/obs"
@@ -38,8 +45,17 @@ func main() {
 		report     = flag.String("report", "", "write a JSON observability report to this path")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this path")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -56,7 +72,7 @@ func main() {
 		col.SetConfig("modules", *modules)
 		col.SetConfig("seed", *seed)
 	}
-	err = run(*which, o, exp.Fig16Options{Workloads: *workloads, SimNs: *simNs, Seed: *seed}, col)
+	err = run(ctx, *which, o, exp.Fig16Options{Workloads: *workloads, SimNs: *simNs, Seed: *seed}, col)
 	if err == nil && col != nil {
 		rep := col.Snapshot("paperrepro")
 		if rerr := rep.Reconcile(); rerr != nil {
@@ -76,7 +92,7 @@ func main() {
 	}
 }
 
-func run(which string, o exp.Options, fo exp.Fig16Options, col *obs.Collector) error {
+func run(ctx context.Context, which string, o exp.Options, fo exp.Fig16Options, col *obs.Collector) error {
 	all := which == "all"
 	ran := false
 	// stage wraps one experiment in a collector stage so the report
@@ -90,7 +106,7 @@ func run(which string, o exp.Options, fo exp.Fig16Options, col *obs.Collector) e
 	if all || which == "table1" {
 		ran = true
 		if err := stage("table1", func() error {
-			rows, err := exp.Table1(o)
+			rows, err := exp.Table1Ctx(ctx, o)
 			if err != nil {
 				return err
 			}
@@ -106,7 +122,7 @@ func run(which string, o exp.Options, fo exp.Fig16Options, col *obs.Collector) e
 	if all || which == "fig11" {
 		ran = true
 		if err := stage("fig11", func() error {
-			rows, err := exp.Fig11(o)
+			rows, err := exp.Fig11Ctx(ctx, o)
 			if err != nil {
 				return err
 			}
@@ -119,7 +135,7 @@ func run(which string, o exp.Options, fo exp.Fig16Options, col *obs.Collector) e
 	if all || which == "fig12" {
 		ran = true
 		if err := stage("fig12", func() error {
-			rows, err := exp.Fig12(o)
+			rows, err := exp.Fig12Ctx(ctx, o)
 			if err != nil {
 				return err
 			}
@@ -133,7 +149,7 @@ func run(which string, o exp.Options, fo exp.Fig16Options, col *obs.Collector) e
 	if all || which == "fig13" {
 		ran = true
 		if err := stage("fig13", func() error {
-			rows, err := exp.Fig13(o)
+			rows, err := exp.Fig13Ctx(ctx, o)
 			if err != nil {
 				return err
 			}
@@ -146,7 +162,7 @@ func run(which string, o exp.Options, fo exp.Fig16Options, col *obs.Collector) e
 	if all || which == "fig14" {
 		ran = true
 		if err := stage("fig14", func() error {
-			rows, err := exp.Fig14(o)
+			rows, err := exp.Fig14Ctx(ctx, o)
 			if err != nil {
 				return err
 			}
@@ -159,7 +175,7 @@ func run(which string, o exp.Options, fo exp.Fig16Options, col *obs.Collector) e
 	if all || which == "fig15" {
 		ran = true
 		if err := stage("fig15", func() error {
-			rows, err := exp.Fig15(o, nil)
+			rows, err := exp.Fig15Ctx(ctx, o, nil)
 			if err != nil {
 				return err
 			}
@@ -176,7 +192,7 @@ func run(which string, o exp.Options, fo exp.Fig16Options, col *obs.Collector) e
 	if all || which == "fig16" {
 		ran = true
 		if err := stage("fig16", func() error {
-			rows, summaries, err := exp.Fig16(fo)
+			rows, summaries, err := exp.Fig16Ctx(ctx, fo)
 			if err != nil {
 				return err
 			}
@@ -203,7 +219,7 @@ func run(which string, o exp.Options, fo exp.Fig16Options, col *obs.Collector) e
 			if ro.RowsPerChip > 128 {
 				ro.RowsPerChip = 128
 			}
-			rows, err := exp.Retention(ro)
+			rows, err := exp.RetentionCtx(ctx, ro)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"parbor/internal/exp"
@@ -19,7 +20,7 @@ func TestRunEachExperiment(t *testing.T) {
 	for _, which := range []string{
 		"table1", "fig11", "fig12", "fig13", "fig14", "fig15", "table2", "fig16", "appendix", "retention",
 	} {
-		if err := run(which, o, fo, nil); err != nil {
+		if err := run(context.Background(), which, o, fo, nil); err != nil {
 			t.Errorf("run(%q): %v", which, err)
 		}
 	}
@@ -29,7 +30,7 @@ func TestRunWithCollectorReconciles(t *testing.T) {
 	o, fo := tinyOpts()
 	col := obs.NewCollector()
 	o.Recorder = col
-	if err := run("table1", o, fo, col); err != nil {
+	if err := run(context.Background(), "table1", o, fo, col); err != nil {
 		t.Fatalf("run(table1): %v", err)
 	}
 	rep := col.Snapshot("paperrepro-test")
@@ -49,7 +50,7 @@ func TestRunWithCollectorReconciles(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	o, fo := tinyOpts()
-	if err := run("bogus", o, fo, nil); err == nil {
+	if err := run(context.Background(), "bogus", o, fo, nil); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

@@ -10,23 +10,44 @@
 //	parbor -vendor B -classify -show-mapping
 //	parbor -vendor A -profile-retention
 //	parbor -vendor A -report out.json -cpuprofile cpu.pprof
+//	parbor -vendor A -online 6
+//	parbor -vendor A -online 3 -checkpoint sweep.json
+//	parbor -resume sweep.json -online 3
+//	parbor -vendor A -timeout 30s
 //
 // With -report, the run emits a structured observability report
 // (schema parbor/report/v1, see DESIGN.md): the configuration, each
 // stage's wall time and DRAM-command delta, command totals, test-host
 // timing histograms, and the derived headline figures.
+//
+// With -online N, the detected distance set feeds N online-test
+// epochs on a fresh twin module and the failure-set checksum is
+// printed; -checkpoint writes a parbor/checkpoint/v1 snapshot after
+// those epochs, and -resume continues a snapshotted sweep (module
+// configuration comes from the snapshot; detection is skipped). A
+// checkpointed-then-resumed sweep is bit-identical to an
+// uninterrupted one.
+//
+// -timeout bounds the whole run, and SIGINT/SIGTERM cancel it
+// cooperatively: in-flight passes stop at the next row-stride check.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"parbor"
+	"parbor/internal/checkpoint"
 	"parbor/internal/core"
 	"parbor/internal/memctl"
 	"parbor/internal/obs"
+	"parbor/internal/onlinetest"
 	"parbor/internal/patterns"
 	"parbor/internal/retention"
 )
@@ -46,6 +67,10 @@ func main() {
 		report        = flag.String("report", "", "write a JSON observability report to this path")
 		cpuprofile    = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 		memprofile    = flag.String("memprofile", "", "write a pprof heap profile to this path")
+		timeout       = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+		online        = flag.Int("online", 0, "run this many online-test epochs with the detected distances")
+		ckpt          = flag.String("checkpoint", "", "write a checkpoint snapshot to this path after the online epochs")
+		resume        = flag.String("resume", "", "resume an online sweep from this checkpoint (skips detection)")
 	)
 	flag.Parse()
 
@@ -63,8 +88,19 @@ func main() {
 		report:        *report,
 		cpuprofile:    *cpuprofile,
 		memprofile:    *memprofile,
+		timeout:       *timeout,
+		online:        *online,
+		checkpoint:    *ckpt,
+		resume:        *resume,
 	}
-	if err := run(opts); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
+	}
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "parbor: %v\n", err)
 		os.Exit(1)
 	}
@@ -100,9 +136,16 @@ type options struct {
 	report        string
 	cpuprofile    string
 	memprofile    string
+	timeout       time.Duration
+	online        int
+	checkpoint    string
+	resume        string
 }
 
-func run(opts options) error {
+func run(ctx context.Context, opts options) error {
+	if opts.resume != "" {
+		return runResume(ctx, opts)
+	}
 	vendorName, rows, chips, sample, seed := opts.vendorName, opts.rows, opts.chips, opts.sample, opts.seed
 	vendor, err := parseVendor(vendorName)
 	if err != nil {
@@ -176,7 +219,7 @@ func run(opts options) error {
 	}
 
 	stopDetect := col.StartStage("detect")
-	report, err := tester.Run()
+	report, err := tester.RunCtx(ctx)
 	stopDetect()
 	if err != nil {
 		return err
@@ -202,7 +245,11 @@ func run(opts options) error {
 
 	if opts.classify {
 		stopClassify := col.StartStage("classify")
-		victims, _, _ := tester.DiscoverVictims()
+		victims, _, _, err := tester.DiscoverVictimsCtx(ctx)
+		if err != nil {
+			stopClassify()
+			return err
+		}
 		classified, tests, err := tester.ClassifyVictims(victims, nr.Distances)
 		stopClassify()
 		if err != nil {
@@ -252,7 +299,7 @@ func run(opts options) error {
 			return err
 		}
 		stopRet := col.StartStage("retention-profile")
-		profile, err := profiler.ProfileModule(pats)
+		profile, err := profiler.ProfileModuleCtx(ctx, pats)
 		stopRet()
 		if err != nil {
 			return err
@@ -291,14 +338,26 @@ func run(opts options) error {
 			return err
 		}
 		stopRnd := col.StartStage("random-baseline")
-		random := tester2.RandomPatternTest(report.TotalTests())
+		random, err := tester2.RandomPatternTestCtx(ctx, report.TotalTests())
 		stopRnd()
+		if err != nil {
+			return err
+		}
 		both := report.AllFailures.Intersect(random)
 		fmt.Printf("\nEqual-budget random baseline: %d failures\n", len(random))
 		fmt.Printf("  found only by PARBOR: %d\n", len(report.AllFailures)-both)
 		fmt.Printf("  found only by random: %d\n", len(random)-both)
 		fmt.Printf("  found by both:        %d\n", both)
 	}
+	if opts.online > 0 {
+		stopOnline := col.StartStage("online")
+		err := runOnline(ctx, opts, vendor, cols, rec, nr.Distances)
+		stopOnline()
+		if err != nil {
+			return err
+		}
+	}
+
 	if col != nil {
 		col.SetFigure("discovery_tests", float64(nr.DiscoveryTests))
 		col.SetFigure("recursion_tests", float64(nr.RecursionTests))
@@ -315,6 +374,135 @@ func run(opts options) error {
 			return err
 		}
 		fmt.Printf("\nObservability report written to %s\n", opts.report)
+	}
+	return nil
+}
+
+// onlineConfig is the scheduler configuration both the fresh-start and
+// resume paths use, so a resumed sweep matches an uninterrupted one.
+func onlineConfig(vendor parbor.Vendor, distances []int) onlinetest.Config {
+	chunk := 128
+	if vendor == parbor.VendorToy {
+		chunk = 16
+	}
+	return onlinetest.Config{Distances: distances, ChunkBits: chunk}
+}
+
+// runOnline runs the requested online-test epochs on a fresh twin
+// module (same configuration and seed as the detection target, so the
+// sweep starts from a known machine state) and optionally checkpoints
+// the sweep afterwards.
+func runOnline(ctx context.Context, opts options, vendor parbor.Vendor, cols int, rec obs.Recorder, distances []int) error {
+	cc := parbor.DefaultCouplingConfig()
+	cc.VulnerableRate = 2e-3
+	mod, err := parbor.NewModule(parbor.ModuleConfig{
+		Name:     opts.vendorName + "1",
+		Vendor:   vendor,
+		Chips:    opts.chips,
+		Geometry: parbor.Geometry{Banks: 1, Rows: opts.rows, Cols: cols},
+		Coupling: cc,
+		Faults:   parbor.DefaultFaultsConfig(),
+		Seed:     opts.seed,
+		Recorder: rec,
+	})
+	if err != nil {
+		return err
+	}
+	host, err := parbor.NewHostWithConfig(mod, parbor.HostConfig{Recorder: rec})
+	if err != nil {
+		return err
+	}
+	sched, err := onlinetest.New(host, onlineConfig(vendor, distances))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nOnline test sweep (%d epochs, distances %v):\n", opts.online, distances)
+	return onlineEpochs(ctx, opts, mod, opts.seed, sched)
+}
+
+// runResume continues a checkpointed sweep: the module is rebuilt from
+// the snapshot's identity and seed (the command line's module flags
+// are ignored), the saved clocks are applied, and the scheduler picks
+// up exactly where the snapshot left it.
+func runResume(ctx context.Context, opts options) error {
+	if opts.online <= 0 {
+		return fmt.Errorf("-resume requires -online N (how many more epochs to run)")
+	}
+	snap, err := checkpoint.ReadFile(opts.resume)
+	if err != nil {
+		return err
+	}
+	vendor, err := parseVendor(snap.Module.Vendor)
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", opts.resume, err)
+	}
+	var rec obs.Recorder
+	cc := parbor.DefaultCouplingConfig()
+	cc.VulnerableRate = 2e-3
+	mod, err := parbor.NewModule(parbor.ModuleConfig{
+		Name:     snap.Module.Name,
+		Vendor:   vendor,
+		Chips:    snap.Module.Chips,
+		Geometry: parbor.Geometry{Banks: snap.Module.Banks, Rows: snap.Module.Rows, Cols: snap.Module.Cols},
+		Coupling: cc,
+		Faults:   parbor.DefaultFaultsConfig(),
+		Seed:     snap.Seed,
+		Recorder: rec,
+	})
+	if err != nil {
+		return err
+	}
+	if err := snap.Apply(mod); err != nil {
+		return err
+	}
+	host, err := parbor.NewHostWithConfig(mod, parbor.HostConfig{Recorder: rec})
+	if err != nil {
+		return err
+	}
+	sched, err := onlinetest.Resume(host, snap.Scheduler)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Resumed module %s (vendor %s, %d chips, seed %d) at %.1f%% sweep coverage\n",
+		mod.Name(), mod.Vendor(), mod.Chips(), snap.Seed, 100*sched.Coverage())
+	fmt.Printf("\nOnline test sweep (%d more epochs, distances %v):\n",
+		opts.online, snap.Scheduler.Config.Distances)
+	return onlineEpochs(ctx, opts, mod, snap.Seed, sched)
+}
+
+// onlineEpochs drives the shared epoch loop, prints the sweep summary
+// with the failure-set checksum, and writes the checkpoint if one was
+// requested.
+func onlineEpochs(ctx context.Context, opts options, mod *parbor.Module, seed uint64, sched *onlinetest.Scheduler) error {
+	for i := 0; i < opts.online; i++ {
+		res, err := sched.RunEpochCtx(ctx)
+		if err != nil {
+			return fmt.Errorf("online epoch %d: %w", i+1, err)
+		}
+		line := fmt.Sprintf("  epoch %2d: %2d rows, %3d tests, %2d new failures",
+			i+1, len(res.RowsTested), res.Tests, len(res.NewFailures))
+		if res.Degraded {
+			line += fmt.Sprintf(" [degraded: %d skipped, %d quarantined, %d unrestored]",
+				len(res.SkippedRows), len(res.Quarantined), len(res.UnrestoredRows))
+		}
+		if res.SweepCompleted {
+			line += " (sweep complete)"
+		}
+		fmt.Println(line)
+	}
+	fails := core.FailureSet(sched.Failures())
+	fmt.Printf("Online sweep: coverage %.1f%%, %d rounds, %d tests, %d failures, checksum %s\n",
+		100*sched.Coverage(), sched.Rounds(), sched.Tests(), len(fails), fails.Checksum())
+	if q := sched.Quarantined(); len(q) > 0 {
+		fmt.Printf("  quarantined chips: %v (%d retries, %d degraded epochs)\n",
+			q, sched.Retries(), sched.DegradedEpochs())
+	}
+	if opts.checkpoint != "" {
+		snap := checkpoint.Capture(mod, seed, sched.State())
+		if err := snap.WriteFile(opts.checkpoint); err != nil {
+			return err
+		}
+		fmt.Printf("Checkpoint written to %s\n", opts.checkpoint)
 	}
 	return nil
 }

@@ -1,0 +1,200 @@
+// Package chaos is the controller-side fault plane: a deterministic
+// injector of the transient and permanent error modes a field
+// deployment sees in front of the DRAM cell array — bus glitches on
+// reads and writes, chips that die (and sometimes come back), and
+// shard stalls. It complements internal/faults, which models
+// cell-level noise only: faults corrupts bits, chaos fails commands.
+//
+// A Plane implements memctl.FaultPlane and is attached to a host via
+// HostConfig.Faults. Every decision is a pure function of the
+// configured seed and the (attempt, row) hook arguments, never of
+// wall-clock time or goroutine scheduling, so a faulted run is
+// exactly reproducible; and because the attempt counter advances on
+// every pass attempt, a retried pass sees fresh draws rather than
+// deterministically re-hitting the same glitch.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"parbor/internal/memctl"
+	"parbor/internal/obs"
+	"parbor/internal/rng"
+)
+
+// Counter names the plane reports through internal/obs (aliases of
+// the canonical obs constants). Reconcile() uses these to cross-check
+// the resilience counters: a report with no chaos faults must show no
+// retries or quarantines.
+const (
+	CounterWriteFaults = obs.CounterChaosWriteFaults
+	CounterReadFaults  = obs.CounterChaosReadFaults
+	CounterStalls      = obs.CounterChaosStalls
+)
+
+// TransientErr is a bus glitch: the command failed but a retry is
+// expected to succeed.
+type TransientErr struct {
+	Op string // "write" or "read"
+}
+
+// Error implements error.
+func (e *TransientErr) Error() string { return "chaos: transient " + e.Op + " fault (bus glitch)" }
+
+// Transient marks the error retryable for memctl.IsTransient.
+func (e *TransientErr) Transient() bool { return true }
+
+// ErrChipDead is the permanent failure mode: the chip does not
+// respond and retrying will not help. It carries no Transient method,
+// so memctl.IsTransient reports false and retry policies escalate to
+// quarantine instead of spinning.
+var ErrChipDead = errors.New("chip dead")
+
+// Window schedules a chip outage in attempt numbers: the chip is dead
+// for every host pass attempt in [From, To), and alive again from To
+// on. To <= 0 means the chip never recovers. Keying outages on the
+// host's attempt counter (not wall time) keeps kill/revive schedules
+// reproducible under any scheduling.
+type Window struct {
+	Chip int
+	From int
+	To   int
+}
+
+func (w Window) covers(attempt, chip int) bool {
+	return chip == w.Chip && attempt >= w.From && (w.To <= 0 || attempt < w.To)
+}
+
+// Config parameterizes a Plane. The zero value injects nothing (but
+// still exercises the hook path).
+type Config struct {
+	// Seed roots every stochastic decision the plane makes.
+	Seed uint64
+	// WriteFaultProb and ReadFaultProb are the per-operation
+	// probabilities of a transient bus glitch, in [0, 1].
+	WriteFaultProb float64
+	ReadFaultProb  float64
+	// StallProb is the per-operation probability of a shard stall, in
+	// [0, 1]; Stall is how long a stalled hook sleeps (real time — the
+	// simulator's virtual clock is not advanced, so a stall perturbs
+	// scheduling without perturbing retention physics).
+	StallProb float64
+	Stall     time.Duration
+	// DeadChips schedules chip outages; see Window.
+	DeadChips []Window
+}
+
+// Validate rejects configurations outside the model's domain,
+// mirroring faults.Config.Validate.
+func (c Config) Validate() error {
+	probs := []struct {
+		name string
+		p    float64
+	}{
+		{"WriteFaultProb", c.WriteFaultProb},
+		{"ReadFaultProb", c.ReadFaultProb},
+		{"StallProb", c.StallProb},
+	}
+	for _, pr := range probs {
+		if pr.p < 0 || pr.p > 1 {
+			return fmt.Errorf("chaos: %s %v outside [0, 1]", pr.name, pr.p)
+		}
+	}
+	if c.Stall < 0 {
+		return fmt.Errorf("chaos: negative Stall %v", c.Stall)
+	}
+	for i, w := range c.DeadChips {
+		if w.Chip < 0 {
+			return fmt.Errorf("chaos: DeadChips[%d]: negative chip %d", i, w.Chip)
+		}
+		if w.From < 0 {
+			return fmt.Errorf("chaos: DeadChips[%d]: negative From %d", i, w.From)
+		}
+		if w.To > 0 && w.To <= w.From {
+			return fmt.Errorf("chaos: DeadChips[%d]: empty window [%d, %d)", i, w.From, w.To)
+		}
+	}
+	return nil
+}
+
+// Plane is a deterministic memctl.FaultPlane. It is immutable after
+// construction and therefore safe for the host's concurrent per-chip
+// shards; the only side effects are obs counters (atomic) and
+// optional stalls.
+type Plane struct {
+	cfg Config
+	rec obs.Recorder
+}
+
+var _ memctl.FaultPlane = (*Plane)(nil)
+
+// New validates cfg and builds a Plane reporting to rec (nil for no
+// reporting).
+func New(cfg Config, rec obs.Recorder) (*Plane, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Plane{cfg: cfg, rec: rec}, nil
+}
+
+// Dead reports whether chip is scheduled dead at the given attempt.
+// Exported so soak tests can compute expected coverage independently.
+func (p *Plane) Dead(attempt, chip int) bool {
+	for _, w := range p.cfg.DeadChips {
+		if w.covers(attempt, chip) {
+			return true
+		}
+	}
+	return false
+}
+
+// BeforeWrite implements memctl.FaultPlane.
+func (p *Plane) BeforeWrite(attempt int, r memctl.Row) error {
+	return p.hook("write", p.cfg.WriteFaultProb, CounterWriteFaults, attempt, r)
+}
+
+// BeforeRead implements memctl.FaultPlane.
+func (p *Plane) BeforeRead(attempt int, r memctl.Row) error {
+	return p.hook("read", p.cfg.ReadFaultProb, CounterReadFaults, attempt, r)
+}
+
+func (p *Plane) hook(op string, prob float64, counter string, attempt int, r memctl.Row) error {
+	if p.Dead(attempt, r.Chip) {
+		p.add(counter, 1)
+		return fmt.Errorf("chaos: chip %d: %w", r.Chip, ErrChipDead)
+	}
+	if prob == 0 && p.cfg.StallProb == 0 {
+		return nil
+	}
+	s := p.stream(op, attempt, r)
+	// Fixed draw order (stall, then glitch) keeps the stream layout
+	// identical across configs that share a seed.
+	if s.Bool(p.cfg.StallProb) {
+		p.add(CounterStalls, 1)
+		if p.cfg.Stall > 0 {
+			time.Sleep(p.cfg.Stall)
+		}
+	}
+	if s.Bool(prob) {
+		p.add(counter, 1)
+		return &TransientErr{Op: op}
+	}
+	return nil
+}
+
+// stream derives the per-call rng: a fresh child stream per
+// (op, attempt, address), so the plane needs no mutable state and the
+// host's shard scheduling cannot influence any draw.
+func (p *Plane) stream(op string, attempt int, r memctl.Row) *rng.Source {
+	s := rng.New(p.cfg.Seed).Split("chaos-" + op)
+	s = s.SplitN("attempt", uint64(attempt))
+	return s.SplitN("addr", uint64(r.Chip)<<40|uint64(r.Bank)<<28|uint64(r.Row))
+}
+
+func (p *Plane) add(name string, n uint64) {
+	if p.rec != nil {
+		p.rec.Add(name, n)
+	}
+}

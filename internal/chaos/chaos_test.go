@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"parbor/internal/memctl"
+	"parbor/internal/obs"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{WriteFaultProb: 1, ReadFaultProb: 0.5, StallProb: 0.1, Stall: time.Millisecond},
+		{DeadChips: []Window{{Chip: 3, From: 0, To: 0}, {Chip: 0, From: 2, To: 5}}},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
+	}
+	bad := []Config{
+		{WriteFaultProb: -0.1},
+		{WriteFaultProb: 1.1},
+		{ReadFaultProb: 2},
+		{StallProb: -1},
+		{Stall: -time.Second},
+		{DeadChips: []Window{{Chip: -1}}},
+		{DeadChips: []Window{{Chip: 0, From: -1}}},
+		{DeadChips: []Window{{Chip: 0, From: 5, To: 5}}},
+		{DeadChips: []Window{{Chip: 0, From: 5, To: 3}}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{WriteFaultProb: -1}, nil); err == nil {
+		t.Error("New accepted an invalid config")
+	}
+}
+
+// TestHooksDeterministic: the plane's decisions are a pure function of
+// (seed, op, attempt, address) — two planes with the same config must
+// agree call by call, in any call order.
+func TestHooksDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, WriteFaultProb: 0.3, ReadFaultProb: 0.2}
+	a, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type call struct {
+		attempt int
+		r       memctl.Row
+	}
+	var calls []call
+	for attempt := 0; attempt < 4; attempt++ {
+		for chip := 0; chip < 3; chip++ {
+			for row := 0; row < 16; row++ {
+				calls = append(calls, call{attempt, memctl.Row{Chip: chip, Row: row}})
+			}
+		}
+	}
+	faults := 0
+	for _, c := range calls {
+		ea := a.BeforeWrite(c.attempt, c.r)
+		// b sees the same calls in reverse-engineered different order:
+		// interleave reads first to show order independence.
+		_ = b.BeforeRead(c.attempt, c.r)
+		eb := b.BeforeWrite(c.attempt, c.r)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("attempt %d row %+v: plane a says %v, plane b says %v", c.attempt, c.r, ea, eb)
+		}
+		if ea != nil {
+			faults++
+			if !memctl.IsTransient(ea) {
+				t.Fatalf("probabilistic fault %v not transient", ea)
+			}
+		}
+	}
+	if faults == 0 {
+		t.Fatal("0.3 write-fault probability injected nothing over 192 calls")
+	}
+}
+
+// TestAttemptChangesDraws: a retried pass (same addresses, next
+// attempt) must see fresh draws, or retries could never succeed.
+func TestAttemptChangesDraws(t *testing.T) {
+	p, err := New(Config{Seed: 1, WriteFaultProb: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := memctl.Row{Chip: 0, Bank: 0, Row: 3}
+	same := true
+	first := p.BeforeWrite(0, r) != nil
+	for attempt := 1; attempt < 16; attempt++ {
+		if (p.BeforeWrite(attempt, r) != nil) != first {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("16 attempts at p=0.5 all drew the same outcome; attempt is not feeding the stream")
+	}
+}
+
+func TestDeadWindows(t *testing.T) {
+	p, err := New(Config{DeadChips: []Window{
+		{Chip: 1, From: 2, To: 5},
+		{Chip: 2, From: 3, To: 0}, // never recovers
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		attempt, chip int
+		dead          bool
+	}{
+		{0, 1, false}, {1, 1, false}, {2, 1, true}, {4, 1, true}, {5, 1, false},
+		{2, 2, false}, {3, 2, true}, {100, 2, true},
+		{3, 0, false},
+	}
+	for _, c := range cases {
+		if got := p.Dead(c.attempt, c.chip); got != c.dead {
+			t.Errorf("Dead(%d, %d) = %v, want %v", c.attempt, c.chip, got, c.dead)
+		}
+	}
+	err = p.BeforeWrite(3, memctl.Row{Chip: 2})
+	if err == nil || !errors.Is(err, ErrChipDead) {
+		t.Fatalf("dead chip write error %v, want ErrChipDead", err)
+	}
+	if memctl.IsTransient(err) {
+		t.Error("dead-chip error classified transient; retry policies would spin")
+	}
+}
+
+func TestCountersReported(t *testing.T) {
+	col := obs.NewCollector()
+	p, err := New(Config{Seed: 3, WriteFaultProb: 1, ReadFaultProb: 1}, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := memctl.Row{Chip: 0}
+	if p.BeforeWrite(0, r) == nil || p.BeforeRead(0, r) == nil {
+		t.Fatal("probability-1 hooks did not fault")
+	}
+	rep := col.Snapshot("chaos-test")
+	if rep.Counters[CounterWriteFaults] != 1 || rep.Counters[CounterReadFaults] != 1 {
+		t.Fatalf("counters %v, want one write fault and one read fault", rep.Counters)
+	}
+}
+
+// TestZeroConfigInjectsNothing: the zero config must be a no-op plane,
+// the property the fault-free bit-identity guarantee rests on.
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	col := obs.NewCollector()
+	p, err := New(Config{}, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		for row := 0; row < 64; row++ {
+			r := memctl.Row{Chip: attempt % 2, Row: row}
+			if e := p.BeforeWrite(attempt, r); e != nil {
+				t.Fatalf("zero config injected %v", e)
+			}
+			if e := p.BeforeRead(attempt, r); e != nil {
+				t.Fatalf("zero config injected %v", e)
+			}
+		}
+	}
+	if n := len(col.Snapshot("chaos-test").Counters); n != 0 {
+		t.Fatalf("zero config reported %d counters", n)
+	}
+}

@@ -1,0 +1,197 @@
+package checkpoint
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"parbor/internal/coupling"
+	"parbor/internal/dram"
+	"parbor/internal/faults"
+	"parbor/internal/memctl"
+	"parbor/internal/onlinetest"
+	"parbor/internal/scramble"
+)
+
+var distances = []int{-48, -16, -8, 8, 16, 48}
+
+// newModule builds the module under test. The default faults config is
+// deliberately ON: VRT and marginal cells draw from the per-chip clock
+// and pass counter, which is exactly the state a checkpoint must carry
+// for resume to be bit-identical.
+func newModule(t *testing.T, seed uint64) *dram.Module {
+	t.Helper()
+	mod, err := dram.NewModule(dram.ModuleConfig{
+		Name:   "ckpt-test",
+		Vendor: scramble.VendorA,
+		Chips:  2,
+		Geometry: dram.Geometry{
+			Banks: 1, Rows: 16, Cols: 8192,
+		},
+		Coupling: coupling.Config{
+			VulnerableRate:  2e-3,
+			StrongLeftFrac:  0.3,
+			StrongRightFrac: 0.3,
+			RetentionMinMs:  100,
+			RetentionMaxMs:  100,
+		},
+		Faults: faults.DefaultConfig(),
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatalf("NewModule: %v", err)
+	}
+	return mod
+}
+
+func newSched(t *testing.T, mod *dram.Module) *onlinetest.Scheduler {
+	t.Helper()
+	host, err := memctl.NewHost(mod, 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	s, err := onlinetest.New(host, onlinetest.Config{Distances: distances, RowsPerEpoch: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func epochs(t *testing.T, s *onlinetest.Scheduler, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := s.RunEpochCtx(context.Background()); err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+	}
+}
+
+// TestInterruptResumeBitIdentical is the acceptance property: a sweep
+// interrupted at the halfway point and resumed from its snapshot (on a
+// freshly built process image) must report exactly the failures of an
+// uninterrupted sweep — with the default noise models on, so the
+// clocks in the snapshot are actually load-bearing.
+func TestInterruptResumeBitIdentical(t *testing.T) {
+	const seed = 17
+	const total = 8
+
+	straight := newSched(t, newModule(t, seed))
+	epochs(t, straight, total)
+
+	// Interrupted process: half the epochs, then snapshot to disk.
+	firstMod := newModule(t, seed)
+	first := newSched(t, firstMod)
+	epochs(t, first, total/2)
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := Capture(firstMod, seed, first.State()).WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	// Resuming process: fresh module from config+seed, clocks applied,
+	// scheduler rebuilt from state.
+	snap, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	resumedMod := newModule(t, snap.Seed)
+	if err := snap.Apply(resumedMod); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	host, err := memctl.NewHost(resumedMod, 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	resumed, err := onlinetest.Resume(host, snap.Scheduler)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	epochs(t, resumed, total/2)
+
+	if got, want := resumed.Failures(), straight.Failures(); !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed sweep found %d failures, uninterrupted %d — checkpoint is lossy", len(got), len(want))
+	}
+	if resumed.Tests() != straight.Tests() || resumed.Coverage() != straight.Coverage() {
+		t.Errorf("resumed progress %d tests / %.2f coverage, uninterrupted %d / %.2f",
+			resumed.Tests(), resumed.Coverage(), straight.Tests(), straight.Coverage())
+	}
+	if len(straight.Failures()) == 0 {
+		t.Fatal("no failures at all; the bit-identity comparison is vacuous")
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	mod := newModule(t, 5)
+	s := newSched(t, mod)
+	epochs(t, s, 1)
+	snap := Capture(mod, 5, s.State())
+
+	if err := snap.Validate(mod); err != nil {
+		t.Fatalf("snapshot of mod does not validate against mod: %v", err)
+	}
+
+	wrongSchema := *snap
+	wrongSchema.Schema = "parbor/checkpoint/v0"
+	if err := wrongSchema.Validate(mod); err == nil {
+		t.Error("wrong schema accepted")
+	}
+
+	otherMod := newModule(t, 6) // same geometry, same name — ident matches
+	if err := snap.Validate(otherMod); err != nil {
+		t.Errorf("same-ident module rejected: %v", err)
+	}
+
+	short := *snap
+	short.Clocks = snap.Clocks[:1]
+	if err := short.Validate(mod); err == nil {
+		t.Error("truncated clock list accepted")
+	}
+
+	negative := *snap
+	negative.Clocks = append([]Clock(nil), snap.Clocks...)
+	negative.Clocks[0].NowMs = -1
+	if err := negative.Validate(mod); err == nil {
+		t.Error("negative clock accepted")
+	}
+
+	smaller, err := dram.NewModule(dram.ModuleConfig{
+		Name:     "ckpt-test",
+		Vendor:   scramble.VendorA,
+		Chips:    2,
+		Geometry: dram.Geometry{Banks: 1, Rows: 8, Cols: 8192},
+		Coupling: coupling.Config{VulnerableRate: 0, RetentionMinMs: 1, RetentionMaxMs: 1},
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(smaller); err == nil {
+		t.Error("module with different geometry accepted")
+	}
+}
+
+func TestReadFileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeString(bad, "not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("unparsable file accepted")
+	}
+	wrong := filepath.Join(dir, "wrong.json")
+	if err := writeString(wrong, `{"schema":"parbor/other/v9"}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(wrong); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+func writeString(path, s string) error {
+	return os.WriteFile(path, []byte(s), 0o644)
+}

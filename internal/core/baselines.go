@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"parbor/internal/memctl"
@@ -12,14 +13,28 @@ import (
 // locations, run for the given number of passes. It returns every
 // failure observed.
 func (t *Tester) RandomPatternTest(passes int) FailureSet {
+	fs, err := t.RandomPatternTestCtx(context.Background(), passes)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// RandomPatternTestCtx is RandomPatternTest with cooperative
+// cancellation and fault-plane error reporting.
+func (t *Tester) RandomPatternTestCtx(ctx context.Context, passes int) (FailureSet, error) {
 	fails := make(FailureSet)
 	for i := 0; i < passes; i++ {
 		p := patterns.Random(t.cfg.Seed, i)
-		fails.Add(t.host.FullPass(func(r memctl.Row, buf []uint64) {
+		got, err := t.host.FullPassCtx(ctx, func(r memctl.Row, buf []uint64) {
 			p.Fill(r.Chip, r.Bank, r.Row, buf)
-		}))
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: random pass %d: %w", i, err)
+		}
+		fails.Add(got)
 	}
-	return fails
+	return fails, nil
 }
 
 // SimplePatternTest is the all-0s/all-1s test that several prior
@@ -49,14 +64,29 @@ type Victim struct {
 
 // DiscoverVictims exposes the discovery phase on its own: it returns
 // the victim sample (one per row, capped at the configured sample
-// size), the number of passes used, and all observed failures.
+// size), the number of passes used, and all observed failures. Like
+// FullPass it cannot report errors; hosts with a fault plane attached
+// must use DiscoverVictimsCtx.
 func (t *Tester) DiscoverVictims() ([]Victim, int, FailureSet) {
-	vs, tests, fails := t.discoverVictims()
+	out, tests, fails, err := t.DiscoverVictimsCtx(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return out, tests, fails
+}
+
+// DiscoverVictimsCtx is DiscoverVictims with cooperative cancellation
+// and fault-plane error reporting.
+func (t *Tester) DiscoverVictimsCtx(ctx context.Context) ([]Victim, int, FailureSet, error) {
+	vs, tests, fails, err := t.discoverVictims(ctx)
+	if err != nil {
+		return nil, 0, nil, err
+	}
 	out := make([]Victim, 0, len(vs))
 	for _, v := range vs {
 		out = append(out, Victim{Row: v.row, Col: v.col, FailData: v.failData})
 	}
-	return out, tests, fails
+	return out, tests, fails, nil
 }
 
 // LinearNeighborSearch is the O(n) single-victim baseline: it probes

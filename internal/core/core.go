@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"parbor/internal/memctl"
@@ -206,11 +207,19 @@ func (r *Report) TotalTests() int {
 // recursive neighbor detection, and the full-chip neighbor-aware
 // test.
 func (t *Tester) Run() (*Report, error) {
-	nr, err := t.DetectNeighbors()
+	return t.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done the
+// pipeline stops between (and, via the host, inside) passes and
+// returns ctx's error. A cancelled run returns no partial report —
+// resumable long sweeps are the checkpoint layer's job.
+func (t *Tester) RunCtx(ctx context.Context) (*Report, error) {
+	nr, err := t.DetectNeighborsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	fails, tests, err := t.FullChipTest(nr.Distances)
+	fails, tests, err := t.FullChipTestCtx(ctx, nr.Distances)
 	if err != nil {
 		return nil, err
 	}

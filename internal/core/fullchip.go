@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"parbor/internal/memctl"
@@ -14,6 +15,12 @@ import (
 // twice the pattern-round count. It returns the uncovered failures
 // and the number of passes performed.
 func (t *Tester) FullChipTest(distances []int) (FailureSet, int, error) {
+	return t.FullChipTestCtx(context.Background(), distances)
+}
+
+// FullChipTestCtx is FullChipTest with cooperative cancellation (see
+// RunCtx).
+func (t *Tester) FullChipTestCtx(ctx context.Context, distances []int) (FailureSet, int, error) {
 	if len(distances) == 0 {
 		return nil, 0, fmt.Errorf("core: empty distance set")
 	}
@@ -27,9 +34,13 @@ func (t *Tester) FullChipTest(distances []int) (FailureSet, int, error) {
 	for _, p := range pats {
 		for _, pp := range []patterns.Pattern{p, p.Inverse()} {
 			fill := pp.Fill
-			fails.Add(t.host.FullPass(func(r memctl.Row, buf []uint64) {
+			got, err := t.host.FullPassCtx(ctx, func(r memctl.Row, buf []uint64) {
 				fill(r.Chip, r.Bank, r.Row, buf)
-			}))
+			})
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: full-chip pass %d: %w", tests, err)
+			}
+			fails.Add(got)
 			tests++
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -10,7 +11,16 @@ import (
 // DetectNeighbors runs discovery plus the parallel recursive test and
 // returns the neighbor-location result (steps 1-4 of Section 5.1).
 func (t *Tester) DetectNeighbors() (*NeighborResult, error) {
-	victims, discTests, discovered := t.discoverVictims()
+	return t.DetectNeighborsCtx(context.Background())
+}
+
+// DetectNeighborsCtx is DetectNeighbors with cooperative cancellation
+// (see RunCtx).
+func (t *Tester) DetectNeighborsCtx(ctx context.Context) (*NeighborResult, error) {
+	victims, discTests, discovered, err := t.discoverVictims(ctx)
+	if err != nil {
+		return nil, err
+	}
 	if len(victims) == 0 {
 		return nil, fmt.Errorf("core: no data-dependent victim candidates found during discovery")
 	}
@@ -33,7 +43,7 @@ func (t *Tester) DetectNeighbors() (*NeighborResult, error) {
 	parentSize := rowBits
 	parentDists := []int{0}
 	for _, size := range sizes {
-		report, err := t.runLevel(victims, bufs, rowBits, parentSize, size, parentDists)
+		report, err := t.runLevel(ctx, victims, bufs, rowBits, parentSize, size, parentDists)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +85,7 @@ func levelSizes(rowBits, firstSplit, fanout int) []int {
 // runLevel performs every region test of one recursion level over all
 // live victims simultaneously, applies marginal-victim filtering, and
 // ranks the observed distances.
-func (t *Tester) runLevel(victims []victimInfo, bufs [][]uint64, rowBits, parentSize, size int, parentDists []int) (*LevelReport, error) {
+func (t *Tester) runLevel(ctx context.Context, victims []victimInfo, bufs [][]uint64, rowBits, parentSize, size int, parentDists []int) (*LevelReport, error) {
 	k := parentSize / size
 	nParents := rowBits / parentSize
 
@@ -118,7 +128,7 @@ func (t *Tester) runLevel(victims []victimInfo, bufs [][]uint64, rowBits, parent
 				regionOf[vi] = rIdx
 			}
 			passes++
-			fails, err := t.host.Pass(prows, pdata)
+			fails, err := t.host.PassCtx(ctx, prows, pdata)
 			if err != nil {
 				return nil, fmt.Errorf("core: level pass (size %d, parent %+d, sub %d): %w", size, dp, j, err)
 			}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"parbor/internal/memctl"
@@ -28,7 +30,7 @@ type victimInfo struct {
 //
 // One victim per row is kept, because the parallel recursive test
 // dedicates each row's data pattern to a single victim.
-func (t *Tester) discoverVictims() ([]victimInfo, int, FailureSet) {
+func (t *Tester) discoverVictims(ctx context.Context) ([]victimInfo, int, FailureSet, error) {
 	base := patterns.DiscoveryPatterns()
 	all := make([]patterns.Pattern, 0, 2*len(base))
 	for _, p := range base {
@@ -43,9 +45,13 @@ func (t *Tester) discoverVictims() ([]victimInfo, int, FailureSet) {
 	discovered := make(FailureSet)
 
 	for i, p := range all {
-		fails := t.host.FullPass(func(r memctl.Row, buf []uint64) {
-			p.Fill(r.Chip, r.Bank, r.Row, buf)
+		fill := p.Fill
+		fails, err := t.host.FullPassCtx(ctx, func(r memctl.Row, buf []uint64) {
+			fill(r.Chip, r.Bank, r.Row, buf)
 		})
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("core: discovery pass %d: %w", i, err)
+		}
 		discovered.Add(fails)
 		for _, a := range fails {
 			o := seen[a]
@@ -98,7 +104,7 @@ func (t *Tester) discoverVictims() ([]victimInfo, int, FailureSet) {
 	if len(victims) > t.cfg.SampleSize {
 		victims = victims[:t.cfg.SampleSize]
 	}
-	return victims, len(all), discovered
+	return victims, len(all), discovered, nil
 }
 
 // bitAt returns bit i of a row bitmap.

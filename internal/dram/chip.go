@@ -444,6 +444,30 @@ func (c *Chip) AutoRefresh(except map[int]struct{}) {
 // changes simulation results.
 func (c *Chip) SetRecorder(r obs.Recorder) { c.rec = r }
 
+// Clock returns the chip's simulation clock: the current virtual time
+// in milliseconds and the pass counter that seeds the per-pass noise
+// and VRT draws. Together with the experiment seed these determine
+// every future stochastic draw, so a checkpoint that records them can
+// resume bit-identically.
+func (c *Chip) Clock() (nowMs float64, pass uint64) { return c.nowMs, c.pass }
+
+// SetClock restores a clock captured by Clock on a freshly
+// constructed chip (same geometry, same seed). It also resets the
+// refresh bookkeeping — lastRefreshMs jumps to nowMs and any paused
+// epoch is dropped — so the first read after a restore sees zero
+// elapsed retention, exactly like the read that verified the
+// checkpoint's save pass. Restoring the clock without restoring row
+// contents is the caller's contract violation, not detected here.
+func (c *Chip) SetClock(nowMs float64, pass uint64) {
+	if nowMs < 0 {
+		panic("dram: negative clock")
+	}
+	c.nowMs = nowMs
+	c.pass = pass
+	c.lastRefreshMs = nowMs
+	c.paused = nil
+}
+
 // FlatRowIndex converts a (bank, row) pair to the flat index used by
 // AutoRefresh.
 func (c *Chip) FlatRowIndex(bank, row int) int { return c.geom.rowIndex(bank, row) }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -81,6 +82,12 @@ type Fig16Summary struct {
 // Fig16 reproduces Figure 16: DC-REF vs RAIDR vs the uniform 64 ms
 // baseline across multi-programmed workloads and chip densities.
 func Fig16(o Fig16Options) ([]Fig16Row, []Fig16Summary, error) {
+	return Fig16Ctx(context.Background(), o)
+}
+
+// Fig16Ctx is Fig16 with cooperative cancellation: a done ctx stops
+// dispatching workload cells (in-flight simulator runs finish).
+func Fig16Ctx(ctx context.Context, o Fig16Options) ([]Fig16Row, []Fig16Summary, error) {
 	o = o.withDefaults()
 	mixes := trace.Workloads(o.Workloads, o.Cores, o.Seed)
 
@@ -132,7 +139,7 @@ func Fig16(o Fig16Options) ([]Fig16Row, []Fig16Summary, error) {
 		}
 	}
 	rows := make([]Fig16Row, len(grid))
-	err := parallelMap(len(grid), func(i int) error {
+	err := parallelMapCtx(ctx, len(grid), func(i int) error {
 		d, w := grid[i].density, grid[i].mix
 		mix := mixes[w]
 		aloneIPCs := make([]float64, len(mix))

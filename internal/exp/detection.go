@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,10 +21,18 @@ type Table1Row struct {
 // Table1 reproduces Table 1: the number of recursive tests PARBOR
 // performs per level for each vendor.
 func Table1(o Options) ([]Table1Row, error) {
+	return Table1Ctx(context.Background(), o)
+}
+
+// Table1Ctx is Table1 with cooperative cancellation. Every experiment
+// runner has a Ctx form with the same contract: a done ctx stops the
+// run inside the current pass and the runner returns ctx's error with
+// no partial result.
+func Table1Ctx(ctx context.Context, o Options) ([]Table1Row, error) {
 	o = o.withDefaults()
 	var rows []Table1Row
 	for _, v := range scramble.Vendors() {
-		res, err := detect(v, o)
+		res, err := detect(ctx, v, o)
 		if err != nil {
 			return nil, fmt.Errorf("exp: table 1, vendor %v: %w", v, err)
 		}
@@ -68,10 +77,15 @@ type Fig11Row struct {
 // Fig11 reproduces Figure 11: the union of neighbor-region distances
 // found at each level of the recursion.
 func Fig11(o Options) ([]Fig11Row, error) {
+	return Fig11Ctx(context.Background(), o)
+}
+
+// Fig11Ctx is Fig11 with cooperative cancellation.
+func Fig11Ctx(ctx context.Context, o Options) ([]Fig11Row, error) {
 	o = o.withDefaults()
 	var rows []Fig11Row
 	for _, v := range scramble.Vendors() {
-		res, err := detect(v, o)
+		res, err := detect(ctx, v, o)
 		if err != nil {
 			return nil, fmt.Errorf("exp: figure 11, vendor %v: %w", v, err)
 		}
@@ -98,12 +112,12 @@ func FormatFig11(rows []Fig11Row) string {
 }
 
 // detect runs discovery + recursion on one module of the vendor.
-func detect(v scramble.Vendor, o Options) (*core.NeighborResult, error) {
+func detect(ctx context.Context, v scramble.Vendor, o Options) (*core.NeighborResult, error) {
 	tester, _, err := newTester(moduleName(v, 0), v, o, moduleSeed(o.Seed, v, 0))
 	if err != nil {
 		return nil, err
 	}
-	return tester.DetectNeighbors()
+	return tester.DetectNeighborsCtx(ctx)
 }
 
 // Fig12Row is one module's PARBOR-vs-random comparison (Figure 12).
@@ -125,6 +139,11 @@ type Fig12Row struct {
 // are measured in parallel (each is an independent deterministic
 // unit).
 func Fig12(o Options) ([]Fig12Row, error) {
+	return Fig12Ctx(context.Background(), o)
+}
+
+// Fig12Ctx is Fig12 with cooperative cancellation.
+func Fig12Ctx(ctx context.Context, o Options) ([]Fig12Row, error) {
 	o = o.withDefaults()
 	type unit struct {
 		name   string
@@ -142,8 +161,8 @@ func Fig12(o Options) ([]Fig12Row, error) {
 		}
 	}
 	rows := make([]Fig12Row, len(units))
-	err := parallelMap(len(units), func(i int) error {
-		row, err := fig12Module(units[i].name, units[i].vendor, o, units[i].seed)
+	err := parallelMapCtx(ctx, len(units), func(i int) error {
+		row, err := fig12Module(ctx, units[i].name, units[i].vendor, o, units[i].seed)
 		if err != nil {
 			return fmt.Errorf("exp: figure 12, module %s: %w", units[i].name, err)
 		}
@@ -156,12 +175,12 @@ func Fig12(o Options) ([]Fig12Row, error) {
 	return rows, nil
 }
 
-func fig12Module(name string, v scramble.Vendor, o Options, seed uint64) (*Fig12Row, error) {
+func fig12Module(ctx context.Context, name string, v scramble.Vendor, o Options, seed uint64) (*Fig12Row, error) {
 	tester, _, err := newTester(name, v, o, seed)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := tester.Run()
+	rep, err := tester.RunCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +189,10 @@ func fig12Module(name string, v scramble.Vendor, o Options, seed uint64) (*Fig12
 	if err != nil {
 		return nil, err
 	}
-	random := rndTester.RandomPatternTest(rep.TotalTests())
+	random, err := rndTester.RandomPatternTestCtx(ctx, rep.TotalTests())
+	if err != nil {
+		return nil, err
+	}
 
 	newFailures := len(rep.AllFailures) - rep.AllFailures.Intersect(random)
 	pct := 0.0
@@ -225,6 +247,11 @@ type Fig13Row struct {
 // detected only by PARBOR, only by random testing, and by both, for
 // the first module of each vendor.
 func Fig13(o Options) ([]Fig13Row, error) {
+	return Fig13Ctx(context.Background(), o)
+}
+
+// Fig13Ctx is Fig13 with cooperative cancellation.
+func Fig13Ctx(ctx context.Context, o Options) ([]Fig13Row, error) {
 	o = o.withDefaults()
 	var rows []Fig13Row
 	for _, v := range scramble.Vendors() {
@@ -234,7 +261,7 @@ func Fig13(o Options) ([]Fig13Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := tester.Run()
+		rep, err := tester.RunCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("exp: figure 13, module %s: %w", name, err)
 		}
@@ -242,7 +269,10 @@ func Fig13(o Options) ([]Fig13Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		random := rndTester.RandomPatternTest(rep.TotalTests())
+		random, err := rndTester.RandomPatternTestCtx(ctx, rep.TotalTests())
+		if err != nil {
+			return nil, fmt.Errorf("exp: figure 13, module %s: %w", name, err)
+		}
 
 		both := rep.AllFailures.Intersect(random)
 		union := len(rep.AllFailures) + len(random) - both
@@ -287,6 +317,11 @@ type Fig14Row struct {
 // distances at recursion level 4, normalized to the most frequent
 // distance, for the first module of each vendor.
 func Fig14(o Options) ([]Fig14Row, error) {
+	return Fig14Ctx(context.Background(), o)
+}
+
+// Fig14Ctx is Fig14 with cooperative cancellation.
+func Fig14Ctx(ctx context.Context, o Options) ([]Fig14Row, error) {
 	o = o.withDefaults()
 	var rows []Fig14Row
 	for _, v := range scramble.Vendors() {
@@ -295,7 +330,7 @@ func Fig14(o Options) ([]Fig14Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := tester.DetectNeighbors()
+		res, err := tester.DetectNeighborsCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("exp: figure 14, module %s: %w", name, err)
 		}
@@ -356,6 +391,11 @@ type Fig15Row struct {
 // victim per row, the experiment quadruples the per-chip row count so
 // the module actually offers 15K+ candidate rows.
 func Fig15(o Options, sampleSizes []int) ([]Fig15Row, error) {
+	return Fig15Ctx(context.Background(), o, sampleSizes)
+}
+
+// Fig15Ctx is Fig15 with cooperative cancellation.
+func Fig15Ctx(ctx context.Context, o Options, sampleSizes []int) ([]Fig15Row, error) {
 	o = o.withDefaults()
 	o.RowsPerChip *= 4
 	if len(sampleSizes) == 0 {
@@ -377,7 +417,7 @@ func Fig15(o Options, sampleSizes []int) ([]Fig15Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := tester.DetectNeighbors()
+			res, err := tester.DetectNeighborsCtx(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("exp: figure 15, module %s, sample %d: %w", name, n, err)
 			}

@@ -1,19 +1,15 @@
 package exp
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"flag"
-	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"reflect"
-	"sort"
+	"strings"
 	"testing"
 
 	"parbor/internal/core"
-	"parbor/internal/memctl"
 	"parbor/internal/obs"
 	"parbor/internal/scramble"
 )
@@ -40,6 +36,11 @@ type goldenVendor struct {
 	FailureChecksum   string            `json:"failure_checksum"`
 	DiscoveryChecksum string            `json:"discovery_checksum"`
 	Commands          map[string]uint64 `json:"commands"`
+	// Resilience pins the chaos/resilience counters ("chaos.*",
+	// "resilience.*"). The golden runs are fault-free, so this section
+	// is empty — and the regression fails if the default path ever
+	// starts injecting faults, retrying, or quarantining.
+	Resilience map[string]uint64 `json:"resilience"`
 }
 
 type goldenFile struct {
@@ -56,36 +57,24 @@ func goldenOpts() Options {
 	return Options{RowsPerChip: 256, Chips: 2, ModulesPerVendor: 2, Seed: 42}
 }
 
-// failureChecksum hashes a failure set order-independently: sort the
-// addresses, then FNV-64a over their fixed-width encoding.
+// failureChecksum hashes a failure set order-independently. The
+// encoding lives in core.FailureSet.Checksum so the CLI's online-sweep
+// checksums and the golden file agree byte for byte.
 func failureChecksum(fs core.FailureSet) string {
-	addrs := make([]memctl.BitAddr, 0, len(fs))
-	for a := range fs {
-		addrs = append(addrs, a)
+	return fs.Checksum()
+}
+
+// resilienceCounters extracts the chaos and resilience counters from a
+// report snapshot. Always non-nil, so the golden JSON round-trips to
+// an empty map rather than null.
+func resilienceCounters(snap *obs.Report) map[string]uint64 {
+	out := map[string]uint64{}
+	for name, n := range snap.Counters {
+		if strings.HasPrefix(name, "chaos.") || strings.HasPrefix(name, "resilience.") {
+			out[name] = n
+		}
 	}
-	sort.Slice(addrs, func(i, j int) bool {
-		a, b := addrs[i], addrs[j]
-		if a.Chip != b.Chip {
-			return a.Chip < b.Chip
-		}
-		if a.Bank != b.Bank {
-			return a.Bank < b.Bank
-		}
-		if a.Row != b.Row {
-			return a.Row < b.Row
-		}
-		return a.Col < b.Col
-	})
-	h := fnv.New64a()
-	var buf [12]byte
-	for _, a := range addrs {
-		binary.LittleEndian.PutUint16(buf[0:2], uint16(a.Chip))
-		binary.LittleEndian.PutUint16(buf[2:4], uint16(a.Bank))
-		binary.LittleEndian.PutUint32(buf[4:8], uint32(a.Row))
-		binary.LittleEndian.PutUint32(buf[8:12], uint32(a.Col))
-		h.Write(buf[:])
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
+	return out
 }
 
 // runGoldenVendor runs the full PARBOR pipeline for one vendor under
@@ -118,6 +107,10 @@ func runGoldenVendor(t *testing.T, v scramble.Vendor, o Options) goldenVendor {
 		FailureChecksum:   failureChecksum(rep.AllFailures),
 		DiscoveryChecksum: failureChecksum(nr.DiscoveryFailures),
 		Commands:          snap.Commands,
+		Resilience:        resilienceCounters(snap),
+	}
+	if len(g.Resilience) != 0 {
+		t.Errorf("vendor %v: fault-free golden run reported resilience counters %v", v, g.Resilience)
 	}
 	for _, lvl := range nr.Levels {
 		g.PerLevelTests = append(g.PerLevelTests, lvl.Tests)

@@ -1,6 +1,10 @@
 package exp
 
-import "parbor/internal/par"
+import (
+	"context"
+
+	"parbor/internal/par"
+)
 
 // parallelMap runs fn(0..n-1) across up to GOMAXPROCS workers and
 // returns the first error. Every experiment unit (a module, a
@@ -13,4 +17,11 @@ import "parbor/internal/par"
 // units are not started.
 func parallelMap(n int, fn func(i int) error) error {
 	return par.Map(n, 0, fn)
+}
+
+// parallelMapCtx is parallelMap with cooperative cancellation: a done
+// ctx stops dispatching units, and units that consult ctx themselves
+// (every tester pass does) abort promptly.
+func parallelMapCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return par.MapCtx(ctx, n, 0, fn)
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -33,6 +34,11 @@ var RetentionThresholds = []float64{256, 512, 1024, 4096}
 // exactly the silent-corruption risk the paper warns about for
 // mechanisms like RAIDR when they profile without neighbor knowledge.
 func Retention(o Options) ([]RetentionRow, error) {
+	return RetentionCtx(context.Background(), o)
+}
+
+// RetentionCtx is Retention with cooperative cancellation.
+func RetentionCtx(ctx context.Context, o Options) ([]RetentionRow, error) {
 	o = o.withDefaults()
 	var rows []RetentionRow
 	for _, v := range scramble.Vendors() {
@@ -45,7 +51,7 @@ func Retention(o Options) ([]RetentionRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		nr, err := tester.DetectNeighbors()
+		nr, err := tester.DetectNeighborsCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("exp: retention, module %s: %w", name, err)
 		}
@@ -73,7 +79,7 @@ func Retention(o Options) ([]RetentionRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			profile, err := profiler.ProfileModule(set.pats)
+			profile, err := profiler.ProfileModuleCtx(ctx, set.pats)
 			if err != nil {
 				return nil, fmt.Errorf("exp: retention, module %s (%s): %w", name, set.label, err)
 			}

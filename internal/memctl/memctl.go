@@ -11,6 +11,8 @@
 package memctl
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -39,7 +41,17 @@ const (
 	// count every row of every chip).
 	CounterPasses     = "host.passes"
 	CounterRowsTested = "host.rows_tested"
+	// CounterPassFaults counts passes that failed on a fault-plane
+	// rejection (see FaultPlane); zero on the fault-free path.
+	CounterPassFaults = "host.pass_faults"
 )
+
+// ctxCheckStride is how many rows a per-chip shard processes between
+// cooperative cancellation checks. Checking every row would take the
+// context's mutex on the hot path; every 32 rows keeps cancellation
+// latency at a handful of microseconds while costing nothing
+// measurable.
+const ctxCheckStride = 32
 
 // Row identifies one row of one chip in the module.
 type Row struct {
@@ -72,6 +84,11 @@ type HostConfig struct {
 	// histograms (see the Series*/Counter* names). It observes only;
 	// results are bit-identical with or without it.
 	Recorder obs.Recorder
+	// Faults, when non-nil, is the controller-side fault plane
+	// consulted before every row write and read (see FaultPlane;
+	// package chaos provides the standard deterministic plane). The
+	// fault-free path is bit-identical with or without a plane.
+	Faults FaultPlane
 }
 
 // Host drives test passes against a module.
@@ -89,6 +106,15 @@ type Host struct {
 	par    int
 	passes int
 	rec    obs.Recorder
+	plane  FaultPlane
+
+	// attempts numbers every pass attempt (and, with a plane
+	// attached, every single-row read), including ones that fail: it
+	// is the entropy a FaultPlane keys its draws on, so a retried
+	// pass sees fresh fault draws rather than deterministically
+	// re-hitting the fault that failed it. Distinct from passes,
+	// which counts only completed tests (the paper's metric).
+	attempts int
 
 	// Per-chip buffers: chip i is only ever touched by the one worker
 	// that owns it during a pass, so indexing by chip makes the
@@ -132,6 +158,7 @@ func NewHostWithConfig(mod *dram.Module, cfg HostConfig) (*Host, error) {
 		waitMs:      cfg.WaitMs,
 		par:         cfg.Parallelism,
 		rec:         cfg.Recorder,
+		plane:       cfg.Faults,
 		chipScratch: make([][]uint64, chips),
 		chipPattern: make([][]uint64, chips),
 	}
@@ -154,6 +181,11 @@ func (h *Host) Passes() int { return h.passes }
 
 // WaitMs returns the configured retention wait in milliseconds.
 func (h *Host) WaitMs() float64 { return h.waitMs }
+
+// Recorder returns the recorder this host reports to (nil when none
+// was configured), so layers built on the host — retry, quarantine,
+// checkpointing — can count their own events next to the host's.
+func (h *Host) Recorder() obs.Recorder { return h.rec }
 
 // Parallelism returns the effective worker bound for per-chip
 // sharding: the configured value (GOMAXPROCS when 0) capped at the
@@ -204,27 +236,23 @@ func (h *Host) shardTimer() func(i int, d time.Duration) {
 	return func(_ int, d time.Duration) { h.rec.ObserveNs(SeriesChipShard, int64(d)) }
 }
 
-// forEachChip runs fn(chip) for every chip, fanning out across the
+// forEachChipErr runs fn(chip) for every chip, fanning out across the
 // host's worker pool when it is larger than one. fn must confine
-// itself to the given chip and its per-chip host buffers. A panic in
-// fn resurfaces on the calling goroutine.
-func (h *Host) forEachChip(fn func(chip int)) {
+// itself to the given chip and its per-chip host buffers. After the
+// first error no further chips are started; a panic in fn is
+// converted to an error by the pool (serial path: it propagates).
+func (h *Host) forEachChipErr(ctx context.Context, fn func(chip int) error) error {
 	chips := h.mod.Chips()
 	workers := h.Parallelism()
 	if workers <= 1 || chips <= 1 {
 		for chip := 0; chip < chips; chip++ {
-			fn(chip)
+			if err := fn(chip); err != nil {
+				return err
+			}
 		}
-		return
-	}
-	if err := par.MapTimed(chips, workers, func(chip int) error {
-		fn(chip)
 		return nil
-	}, h.shardTimer()); err != nil {
-		// fn returns no errors, so this can only be a recovered panic
-		// from fn; restore the serial path's panic semantics.
-		panic(err)
 	}
+	return par.MapTimedCtx(ctx, chips, workers, fn, h.shardTimer())
 }
 
 // rowsByChip buckets row-list indices by chip, preserving the
@@ -238,11 +266,11 @@ func (h *Host) rowsByChip(rows []Row) [][]int {
 	return byChip
 }
 
-// forEachActiveChip runs fn for every chip that owns at least one
+// forEachActiveChipErr runs fn for every chip that owns at least one
 // bucketed row. Small passes often touch a single chip; those skip
 // the pool entirely rather than paying fan-out overhead for no
 // concurrency.
-func (h *Host) forEachActiveChip(byChip [][]int, fn func(chip int)) {
+func (h *Host) forEachActiveChipErr(ctx context.Context, byChip [][]int, fn func(chip int) error) error {
 	var active []int
 	for chip, idxs := range byChip {
 		if len(idxs) > 0 {
@@ -252,19 +280,55 @@ func (h *Host) forEachActiveChip(byChip [][]int, fn func(chip int)) {
 	workers := h.Parallelism()
 	if workers <= 1 || len(active) <= 1 {
 		for _, chip := range active {
-			fn(chip)
+			if err := fn(chip); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	if workers > len(active) {
 		workers = len(active)
 	}
-	if err := par.MapTimed(len(active), workers, func(k int) error {
-		fn(active[k])
+	return par.MapTimedCtx(ctx, len(active), workers, func(k int) error {
+		return fn(active[k])
+	}, h.shardTimer())
+}
+
+// newFaultSlots returns the per-chip fault slots for one sweep when a
+// plane is attached, nil otherwise. Slot c is only ever written by
+// the worker that owns chip c, so the slice needs no locking.
+func (h *Host) newFaultSlots() []*ChipFault {
+	if h.plane == nil {
 		return nil
-	}, h.shardTimer()); err != nil {
-		panic(err)
 	}
+	return make([]*ChipFault, h.mod.Chips())
+}
+
+// chipFaultsError assembles the non-nil fault slots into a
+// deterministic *PassError (ascending chip order), or nil when no
+// shard faulted.
+func chipFaultsError(slots []*ChipFault) error {
+	var out []*ChipFault
+	for _, f := range slots {
+		if f != nil {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return &PassError{Faults: out}
+}
+
+// failPass accounts a pass that did not complete. Fault-plane
+// rejections are counted; cancellations are not (they are the
+// caller's doing, not the hardware's).
+func (h *Host) failPass(err error) error {
+	var pe *PassError
+	if errors.As(err, &pe) {
+		h.add(CounterPassFaults, 1)
+	}
+	return err
 }
 
 // Pass writes data[i] to rows[i], waits the retention interval, reads
@@ -274,13 +338,35 @@ func (h *Host) forEachActiveChip(byChip [][]int, fn func(chip int)) {
 // retention wait (this is what makes PARBOR's parallel-row testing
 // cheap, Section 4.2).
 func (h *Host) Pass(rows []Row, data [][]uint64) ([]BitAddr, error) {
-	return h.PassWithWait(rows, data, h.waitMs)
+	return h.PassWithWaitCtx(context.Background(), rows, data, h.waitMs)
+}
+
+// PassCtx is Pass with cooperative cancellation: once ctx is done the
+// sharded chip workers stop within ctxCheckStride rows and ctx.Err()
+// is returned. A cancelled pass leaves the rows it already wrote
+// holding test patterns — callers that must preserve live data
+// restore afterwards with an uncancelled context (see package
+// onlinetest).
+func (h *Host) PassCtx(ctx context.Context, rows []Row, data [][]uint64) ([]BitAddr, error) {
+	return h.PassWithWaitCtx(ctx, rows, data, h.waitMs)
 }
 
 // PassWithWait is Pass with an explicit retention wait, used by
 // retention-time profiling (package retention), which sweeps the wait
 // instead of testing at one fixed interval.
 func (h *Host) PassWithWait(rows []Row, data [][]uint64, waitMs float64) ([]BitAddr, error) {
+	return h.PassWithWaitCtx(context.Background(), rows, data, waitMs)
+}
+
+// PassWithWaitCtx is PassWithWait with cooperative cancellation and
+// fault-plane semantics: when an attached FaultPlane rejects an
+// operation, the failing chip's shard aborts, the other chips finish,
+// and the pass fails with a deterministic *PassError naming every
+// faulted chip. A pass that fails during its write sweep aborts
+// before the retention wait and does not count as a test; a pass that
+// fails during the read sweep has already consumed the wait and is
+// counted, exactly as on real hardware.
+func (h *Host) PassWithWaitCtx(ctx context.Context, rows []Row, data [][]uint64, waitMs float64) ([]BitAddr, error) {
 	if len(rows) != len(data) {
 		return nil, fmt.Errorf("memctl: %d rows but %d data buffers", len(rows), len(data))
 	}
@@ -293,20 +379,44 @@ func (h *Host) PassWithWait(rows []Row, data [][]uint64, waitMs float64) ([]BitA
 			return nil, fmt.Errorf("memctl: row %d: data has %d words, want %d", i, len(data[i]), words)
 		}
 	}
+	attempt := h.attempts
+	h.attempts++
 	passStart := h.startClock()
 	byChip := h.rowsByChip(rows)
-	h.forEachActiveChip(byChip, func(chip int) {
+	slots := h.newFaultSlots()
+	err := h.forEachActiveChipErr(ctx, byChip, func(chip int) error {
 		c := h.mod.Chip(chip)
-		for _, i := range byChip[chip] {
+		for k, i := range byChip[chip] {
+			if k%ctxCheckStride == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+			}
+			if h.plane != nil {
+				if ferr := h.plane.BeforeWrite(attempt, rows[i]); ferr != nil {
+					slots[chip] = &ChipFault{Chip: chip, Op: "write", Row: rows[i], Err: ferr}
+					return nil // abort this shard; sibling chips continue
+				}
+			}
 			c.WriteRow(rows[i].Bank, rows[i].Row, data[i])
 		}
+		return nil
 	})
+	if err == nil {
+		err = chipFaultsError(slots)
+	}
+	if err != nil {
+		return nil, h.failPass(err)
+	}
 	h.observeSince(SeriesWriteSweep, passStart)
 	h.mod.Wait(waitMs)
 	h.autoRefreshExcept(rows)
 	h.passes++
 	readStart := h.startClock()
-	fails := h.readAndDiff(byChip, rows, data)
+	fails, err := h.readAndDiff(ctx, attempt, byChip, rows, data)
+	if err != nil {
+		return nil, h.failPass(err)
+	}
 	h.observeSince(SeriesReadSweep, readStart)
 	h.observeSince(SeriesPass, passStart)
 	h.add(CounterPasses, 1)
@@ -336,29 +446,66 @@ func (h *Host) autoRefreshExcept(rows []Row) {
 // readAndDiff reads every listed row back and diffs it against
 // want[i], sharding per chip. Results are merged in ascending
 // row-list index, exactly the order a serial sweep produces.
-func (h *Host) readAndDiff(byChip [][]int, rows []Row, want [][]uint64) []BitAddr {
+func (h *Host) readAndDiff(ctx context.Context, attempt int, byChip [][]int, rows []Row, want [][]uint64) ([]BitAddr, error) {
 	perIndex := make([][]BitAddr, len(rows))
-	h.forEachActiveChip(byChip, func(chip int) {
+	slots := h.newFaultSlots()
+	err := h.forEachActiveChipErr(ctx, byChip, func(chip int) error {
 		c := h.mod.Chip(chip)
 		scratch := h.chipScratch[chip]
-		for _, i := range byChip[chip] {
+		for k, i := range byChip[chip] {
+			if k%ctxCheckStride == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+			}
+			if h.plane != nil {
+				if ferr := h.plane.BeforeRead(attempt, rows[i]); ferr != nil {
+					slots[chip] = &ChipFault{Chip: chip, Op: "read", Row: rows[i], Err: ferr}
+					return nil
+				}
+			}
 			c.ReadRow(rows[i].Bank, rows[i].Row, scratch)
 			perIndex[i] = appendMismatches(nil, rows[i], want[i], scratch)
 		}
+		return nil
 	})
+	if err == nil {
+		err = chipFaultsError(slots)
+	}
+	if err != nil {
+		return nil, err
+	}
 	var fails []BitAddr
 	for _, f := range perIndex {
 		fails = append(fails, f...)
 	}
-	return fails
+	return fails, nil
 }
 
 // ReadRowInto reads a row's current contents into dst without any
 // retention wait — the plain load path, used e.g. to save live data
 // before an online test epoch (package onlinetest).
 func (h *Host) ReadRowInto(r Row, dst []uint64) error {
+	return h.ReadRowIntoCtx(context.Background(), r, dst)
+}
+
+// ReadRowIntoCtx is ReadRowInto with cancellation and fault-plane
+// semantics: an attached plane may reject the read, in which case the
+// error is a *ChipFault. Each call is a distinct attempt, so a
+// transient fault on a saved row clears on retry.
+func (h *Host) ReadRowIntoCtx(ctx context.Context, r Row, dst []uint64) error {
 	if len(dst) != h.mod.Geometry().Words() {
 		return fmt.Errorf("memctl: dst has %d words, want %d", len(dst), h.mod.Geometry().Words())
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if h.plane != nil {
+		attempt := h.attempts
+		h.attempts++
+		if ferr := h.plane.BeforeRead(attempt, r); ferr != nil {
+			return &ChipFault{Chip: r.Chip, Op: "read", Row: r, Err: ferr}
+		}
 	}
 	h.mod.Chip(r.Chip).ReadRow(r.Bank, r.Row, dst)
 	return nil
@@ -370,6 +517,12 @@ func (h *Host) ReadRowInto(r Row, dst []uint64) error {
 // this; Pass would re-charge the cells and mask retention failures.
 // It counts as one test.
 func (h *Host) Verify(rows []Row, expected [][]uint64, waitMs float64) ([]BitAddr, error) {
+	return h.VerifyCtx(context.Background(), rows, expected, waitMs)
+}
+
+// VerifyCtx is Verify with cooperative cancellation and fault-plane
+// semantics (see PassWithWaitCtx).
+func (h *Host) VerifyCtx(ctx context.Context, rows []Row, expected [][]uint64, waitMs float64) ([]BitAddr, error) {
 	if len(rows) != len(expected) {
 		return nil, fmt.Errorf("memctl: %d rows but %d expected buffers", len(rows), len(expected))
 	}
@@ -382,13 +535,18 @@ func (h *Host) Verify(rows []Row, expected [][]uint64, waitMs float64) ([]BitAdd
 			return nil, fmt.Errorf("memctl: row %d: expected has %d words, want %d", i, len(expected[i]), words)
 		}
 	}
+	attempt := h.attempts
+	h.attempts++
 	if waitMs > 0 {
 		h.mod.Wait(waitMs)
 		h.autoRefreshExcept(rows)
 	}
 	h.passes++
 	readStart := h.startClock()
-	fails := h.readAndDiff(h.rowsByChip(rows), rows, expected)
+	fails, err := h.readAndDiff(ctx, attempt, h.rowsByChip(rows), rows, expected)
+	if err != nil {
+		return nil, h.failPass(err)
+	}
 	h.observeSince(SeriesReadSweep, readStart)
 	h.observeSince(SeriesPass, readStart)
 	h.add(CounterPasses, 1)
@@ -408,45 +566,116 @@ func (h *Host) FullPass(gen func(r Row, buf []uint64)) []BitAddr {
 	return h.FullPassWithWait(gen, h.waitMs)
 }
 
+// FullPassCtx is FullPass with cooperative cancellation and
+// fault-plane semantics (see PassWithWaitCtx).
+func (h *Host) FullPassCtx(ctx context.Context, gen func(r Row, buf []uint64)) ([]BitAddr, error) {
+	return h.FullPassWithWaitCtx(ctx, gen, h.waitMs)
+}
+
 // FullPassWithWait is FullPass with an explicit retention wait.
 //
 // The returned failures are sorted by (chip, bank, row, col)
 // regardless of the host's parallelism: each chip's sweep visits its
 // banks, rows and columns in ascending order, and the per-chip
 // results are concatenated in chip order.
+//
+// It cannot report errors; hosts with a FaultPlane attached must use
+// FullPassWithWaitCtx instead (an injected fault here panics), and a
+// panic in gen resurfaces on the calling goroutine as before.
 func (h *Host) FullPassWithWait(gen func(r Row, buf []uint64), waitMs float64) []BitAddr {
+	fails, err := h.FullPassWithWaitCtx(context.Background(), gen, waitMs)
+	if err != nil {
+		// Background ctx never cancels and no plane should be attached
+		// on this legacy path, so this is a recovered gen panic (or a
+		// plane misuse): restore the panic semantics.
+		panic(err)
+	}
+	return fails
+}
+
+// FullPassWithWaitCtx is FullPassWithWait with cooperative
+// cancellation and fault-plane semantics (see PassWithWaitCtx).
+func (h *Host) FullPassWithWaitCtx(ctx context.Context, gen func(r Row, buf []uint64), waitMs float64) ([]BitAddr, error) {
+	if waitMs < 0 {
+		return nil, fmt.Errorf("memctl: negative wait %v", waitMs)
+	}
 	g := h.mod.Geometry()
+	attempt := h.attempts
+	h.attempts++
 	passStart := h.startClock()
-	h.forEachChip(func(chip int) {
+	slots := h.newFaultSlots()
+	err := h.forEachChipErr(ctx, func(chip int) error {
 		c := h.mod.Chip(chip)
 		buf := h.chipPattern[chip]
+		n := 0
 		for bank := 0; bank < g.Banks; bank++ {
 			for row := 0; row < g.Rows; row++ {
-				gen(Row{Chip: chip, Bank: bank, Row: row}, buf)
+				if n%ctxCheckStride == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						return cerr
+					}
+				}
+				n++
+				r := Row{Chip: chip, Bank: bank, Row: row}
+				if h.plane != nil {
+					if ferr := h.plane.BeforeWrite(attempt, r); ferr != nil {
+						slots[chip] = &ChipFault{Chip: chip, Op: "write", Row: r, Err: ferr}
+						return nil
+					}
+				}
+				gen(r, buf)
 				c.WriteRow(bank, row, buf)
 			}
 		}
+		return nil
 	})
+	if err == nil {
+		err = chipFaultsError(slots)
+	}
+	if err != nil {
+		return nil, h.failPass(err)
+	}
 	h.observeSince(SeriesWriteSweep, passStart)
 	h.mod.Wait(waitMs)
 	h.passes++
 
 	readStart := h.startClock()
 	perChip := make([][]BitAddr, h.mod.Chips())
-	h.forEachChip(func(chip int) {
+	slots = h.newFaultSlots()
+	err = h.forEachChipErr(ctx, func(chip int) error {
 		c := h.mod.Chip(chip)
 		buf, scratch := h.chipPattern[chip], h.chipScratch[chip]
 		var fails []BitAddr
+		n := 0
 		for bank := 0; bank < g.Banks; bank++ {
 			for row := 0; row < g.Rows; row++ {
+				if n%ctxCheckStride == 0 {
+					if cerr := ctx.Err(); cerr != nil {
+						return cerr
+					}
+				}
+				n++
 				r := Row{Chip: chip, Bank: bank, Row: row}
+				if h.plane != nil {
+					if ferr := h.plane.BeforeRead(attempt, r); ferr != nil {
+						slots[chip] = &ChipFault{Chip: chip, Op: "read", Row: r, Err: ferr}
+						return nil
+					}
+				}
 				gen(r, buf)
 				c.ReadRow(bank, row, scratch)
 				fails = appendMismatches(fails, r, buf, scratch)
 			}
 		}
 		perChip[chip] = fails
+		return nil
 	})
+	if err == nil {
+		err = chipFaultsError(slots)
+	}
+	if err != nil {
+		return nil, h.failPass(err)
+	}
 	var fails []BitAddr
 	for _, f := range perChip {
 		fails = append(fails, f...)
@@ -455,7 +684,7 @@ func (h *Host) FullPassWithWait(gen func(r Row, buf []uint64), waitMs float64) [
 	h.observeSince(SeriesPass, passStart)
 	h.add(CounterPasses, 1)
 	h.add(CounterRowsTested, uint64(h.mod.Chips()*g.RowCount()))
-	return fails
+	return fails, nil
 }
 
 // appendMismatches diffs the read-back buffer got against want and

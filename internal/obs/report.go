@@ -12,6 +12,30 @@ import (
 // changes; readers reject schemas they do not know.
 const ReportSchema = "parbor/report/v1"
 
+// Resilience counter names. They are defined here, next to the report
+// schema and the Reconcile invariant that ties them together, because
+// both their producers (internal/chaos injects the faults,
+// internal/onlinetest runs the policies) report through this package
+// and must agree on spelling.
+const (
+	// CounterChaosWriteFaults / CounterChaosReadFaults / CounterChaosStalls
+	// count controller-side faults the chaos plane injected.
+	CounterChaosWriteFaults = "chaos.write_faults"
+	CounterChaosReadFaults  = "chaos.read_faults"
+	CounterChaosStalls      = "chaos.stalls"
+	// CounterRetries counts retry attempts consumed by transient
+	// faults; CounterQuarantinedChips chips taken out of service;
+	// CounterDegradedEpochs epochs that ran with partial coverage;
+	// CounterUnrestoredBits / CounterUnrestoredRows live data that did
+	// not survive an epoch (verified bit mismatches, and rows whose
+	// restore never completed).
+	CounterRetries          = "resilience.retries"
+	CounterQuarantinedChips = "resilience.quarantined_chips"
+	CounterDegradedEpochs   = "resilience.degraded_epochs"
+	CounterUnrestoredBits   = "resilience.unrestored_bits"
+	CounterUnrestoredRows   = "resilience.unrestored_rows"
+)
+
 // Report is the structured, JSON-serializable record of one
 // experiment run: what was configured, what each stage cost, how
 // many DRAM commands the substrate issued, and the derived headline
@@ -145,6 +169,24 @@ func (r *Report) Reconcile() error {
 	rw := r.Commands[CmdWrite.String()] + r.Commands[CmdRead.String()]
 	if act != rw {
 		return fmt.Errorf("obs: %d activates do not reconcile with %d writes + reads", act, rw)
+	}
+	// Resilience cross-check: the retry/quarantine/degradation
+	// machinery only ever acts on injected controller faults, so a run
+	// with no chaos faults must report none of its symptoms. (Stalls
+	// are excluded: a stall delays, it does not fail.)
+	faults := r.Counters[CounterChaosWriteFaults] + r.Counters[CounterChaosReadFaults]
+	if faults == 0 {
+		for _, name := range []string{
+			CounterRetries,
+			CounterQuarantinedChips,
+			CounterDegradedEpochs,
+			CounterUnrestoredBits,
+			CounterUnrestoredRows,
+		} {
+			if n := r.Counters[name]; n != 0 {
+				return fmt.Errorf("obs: %d %s with zero chaos faults", n, name)
+			}
+		}
 	}
 	return nil
 }

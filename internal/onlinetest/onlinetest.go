@@ -17,12 +17,35 @@
 // scheduler keeps testing after full coverage: a round counter tracks
 // complete sweeps, and the failure set distinguishes everything ever
 // seen from what the most recent sweep saw.
+//
+// The scheduler is also where the repository's resilience policies
+// live, because the field — per the DDR4 field studies — delivers
+// transient controller errors, intermittent chips, and operator
+// interruptions, not just clean passes:
+//
+//   - Transient pass errors (memctl.IsTransient) are retried up to
+//     Config.MaxRetries times with optional backoff.
+//   - Chips that fail permanently (or exhaust their retries) are
+//     quarantined: their rows are skipped for the rest of the run and
+//     each epoch that loses rows this way reports Degraded partial
+//     coverage instead of failing the whole module.
+//   - RunEpoch is transactional about live data: the saved row
+//     contents are restored on every exit path (including error and
+//     cancellation paths, via defer on an uncancelable context), and
+//     bits that could not be verifiably restored are surfaced in the
+//     EpochResult rather than silently dropped.
+//   - The full scheduler state is exportable (State) and rebuildable
+//     (Resume), which is what the checkpoint layer serializes.
 package onlinetest
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"time"
 
 	"parbor/internal/memctl"
+	"parbor/internal/obs"
 	"parbor/internal/patterns"
 )
 
@@ -37,6 +60,13 @@ type Config struct {
 	// RowsPerEpoch is how many rows are taken out of service and
 	// tested per epoch. Default 8.
 	RowsPerEpoch int
+	// MaxRetries bounds how many times one failing operation (a test
+	// pass, a save read, a restore pass) is retried when its error is
+	// transient. Default 2. Non-transient errors are never retried.
+	MaxRetries int
+	// RetryBackoff is slept between retry attempts (real time; the
+	// simulated retention clock does not advance). Default 0.
+	RetryBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -46,7 +76,32 @@ func (c Config) withDefaults() Config {
 	if c.ChunkBits == 0 {
 		c.ChunkBits = 128
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
 	return c
+}
+
+// Validate rejects configurations outside the scheduler's domain,
+// mirroring faults.Config.Validate. Zero values are legal (defaults
+// fill them in); negatives and an empty distance set are not.
+func (c Config) Validate() error {
+	if len(c.Distances) == 0 {
+		return fmt.Errorf("onlinetest: empty distance set")
+	}
+	if c.RowsPerEpoch < 0 {
+		return fmt.Errorf("onlinetest: negative RowsPerEpoch %d", c.RowsPerEpoch)
+	}
+	if c.ChunkBits < 0 {
+		return fmt.Errorf("onlinetest: negative ChunkBits %d", c.ChunkBits)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("onlinetest: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("onlinetest: negative RetryBackoff %v", c.RetryBackoff)
+	}
+	return nil
 }
 
 // Scheduler runs online test epochs against a module.
@@ -62,6 +117,10 @@ type Scheduler struct {
 	everSeen  map[memctl.BitAddr]struct{}
 	sweepSeen map[memctl.BitAddr]struct{}
 	tests     int
+
+	quarantined map[int]struct{}
+	retries     int
+	degraded    int
 }
 
 // New builds a scheduler.
@@ -69,13 +128,10 @@ func New(host *memctl.Host, cfg Config) (*Scheduler, error) {
 	if host == nil {
 		return nil, fmt.Errorf("onlinetest: nil host")
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
-	if len(cfg.Distances) == 0 {
-		return nil, fmt.Errorf("onlinetest: empty distance set")
-	}
-	if cfg.RowsPerEpoch < 1 {
-		return nil, fmt.Errorf("onlinetest: RowsPerEpoch %d < 1", cfg.RowsPerEpoch)
-	}
 	base, err := patterns.NeighborAware(cfg.Distances, cfg.ChunkBits)
 	if err != nil {
 		return nil, fmt.Errorf("onlinetest: building patterns: %w", err)
@@ -95,64 +151,163 @@ func New(host *memctl.Host, cfg Config) (*Scheduler, error) {
 		}
 	}
 	return &Scheduler{
-		host:      host,
-		cfg:       cfg,
-		pats:      pats,
-		rows:      rows,
-		everSeen:  make(map[memctl.BitAddr]struct{}),
-		sweepSeen: make(map[memctl.BitAddr]struct{}),
+		host:        host,
+		cfg:         cfg,
+		pats:        pats,
+		rows:        rows,
+		everSeen:    make(map[memctl.BitAddr]struct{}),
+		sweepSeen:   make(map[memctl.BitAddr]struct{}),
+		quarantined: make(map[int]struct{}),
 	}, nil
 }
 
 // EpochResult summarizes one epoch.
 type EpochResult struct {
-	// RowsTested is the slice of rows taken out of service.
+	// RowsTested is the slice of rows taken out of service and
+	// actually tested this epoch (quarantine-skipped rows excluded).
 	RowsTested []memctl.Row
 	// NewFailures are failures not seen in any earlier epoch.
 	NewFailures []memctl.BitAddr
-	// Tests is the number of passes this epoch.
+	// Tests is the number of successful passes this epoch.
 	Tests int
 	// SweepCompleted reports whether this epoch finished a full
 	// module sweep.
 	SweepCompleted bool
+
+	// Retries is how many retry attempts transient faults consumed.
+	Retries int
+	// Quarantined lists chips newly quarantined during this epoch.
+	Quarantined []int
+	// SkippedRows are rows in the epoch's slice that were not tested
+	// because their chip was already quarantined when the epoch began.
+	SkippedRows []memctl.Row
+	// Degraded reports partial coverage: some of the slice was skipped
+	// or abandoned because of quarantined chips.
+	Degraded bool
+	// RestoreMismatch lists bits whose restored value did not read
+	// back as the saved live data — a live-data integrity loss the
+	// caller must know about.
+	RestoreMismatch []memctl.BitAddr
+	// UnrestoredRows lists rows whose restore could not be completed
+	// at all (their chip died): their live data is gone.
+	UnrestoredRows []memctl.Row
 }
 
 // RunEpoch takes the next row slice out of service, tests it with
 // every worst-case pattern, restores its contents, and returns what
-// it found. Live data in the tested rows is preserved exactly.
+// it found. Live data in the tested rows is preserved exactly on the
+// fault-free path, and best-effort (with explicit accounting in the
+// result) under injected faults.
 func (s *Scheduler) RunEpoch() (*EpochResult, error) {
+	return s.RunEpochCtx(context.Background())
+}
+
+// RunEpochCtx is RunEpoch with cooperative cancellation. A done ctx
+// aborts the epoch's remaining passes, but the saved live data is
+// still restored (the restore runs on an uncancelable context) before
+// the error returns; the cursor does not advance, so the epoch can be
+// re-run after a resume.
+func (s *Scheduler) RunEpochCtx(ctx context.Context) (result *EpochResult, err error) {
 	n := s.cfg.RowsPerEpoch
 	if n > len(s.rows) {
 		n = len(s.rows)
 	}
-	slice := make([]memctl.Row, 0, n)
+	res := &EpochResult{}
+	var slice []memctl.Row
 	for i := 0; i < n; i++ {
-		slice = append(slice, s.rows[(s.cursor+i)%len(s.rows)])
+		r := s.rows[(s.cursor+i)%len(s.rows)]
+		if _, q := s.quarantined[r.Chip]; q {
+			res.SkippedRows = append(res.SkippedRows, r)
+			continue
+		}
+		slice = append(slice, r)
 	}
 
 	// Save live data. (Snapshot reads at zero wait: the contents as
-	// the application last wrote them.)
+	// the application last wrote them.) A failing save read is retried
+	// while transient; a chip whose save read fails permanently is
+	// quarantined and its rows drop out of the epoch — nothing has
+	// been written to them yet, so they are skipped, not lost.
 	words := s.host.Geometry().Words()
-	saved := make([][]uint64, len(slice))
-	for i, r := range slice {
-		saved[i] = make([]uint64, words)
-		if err := s.host.ReadRowInto(r, saved[i]); err != nil {
-			return nil, fmt.Errorf("onlinetest: saving row %+v: %w", r, err)
+	var rows []memctl.Row
+	var saved [][]uint64
+	for _, r := range slice {
+		if _, q := s.quarantined[r.Chip]; q {
+			res.SkippedRows = append(res.SkippedRows, r)
+			continue
 		}
+		buf := make([]uint64, words)
+		rerr := s.retrying(ctx, res, func() error { return s.host.ReadRowIntoCtx(ctx, r, buf) })
+		if rerr != nil {
+			if ctx.Err() != nil {
+				s.report(res)
+				return nil, fmt.Errorf("onlinetest: epoch cancelled while saving: %w", ctx.Err())
+			}
+			if _, ok := memctl.FaultedChips(rerr); !ok {
+				s.report(res)
+				return nil, fmt.Errorf("onlinetest: saving row %+v: %w", r, rerr)
+			}
+			s.quarantine(res, []int{r.Chip})
+			res.SkippedRows = append(res.SkippedRows, r)
+			continue
+		}
+		rows = append(rows, r)
+		saved = append(saved, buf)
 	}
+	res.RowsTested = rows
 
-	res := &EpochResult{RowsTested: slice}
-	bufs := make([][]uint64, len(slice))
+	// From the first test write on, rows/saved hold overwritten live
+	// data, so the restore must run on every exit path — success, pass
+	// error, panic, or cancellation (hence the uncancelable context).
+	// The restore set is all saved rows, including chips quarantined
+	// mid-epoch: quarantine stops testing a chip, not the attempt to
+	// give its live data back.
+	wrote := false
+	defer func() {
+		if wrote {
+			s.restore(context.WithoutCancel(ctx), res, rows, saved)
+		}
+		res.Degraded = len(res.SkippedRows) > 0 || len(res.Quarantined) > 0 || len(res.UnrestoredRows) > 0
+		if err == nil && res.Degraded {
+			s.degraded++
+		}
+		s.report(res)
+	}()
+
+	testRows := rows
+	bufs := make([][]uint64, len(rows))
 	for i := range bufs {
 		bufs[i] = make([]uint64, words)
 	}
 	for _, p := range s.pats {
-		for i, r := range slice {
-			p.Fill(r.Chip, r.Bank, r.Row, bufs[i])
+		if len(testRows) == 0 {
+			break
 		}
-		fails, err := s.host.Pass(slice, bufs)
-		if err != nil {
-			return nil, fmt.Errorf("onlinetest: test pass: %w", err)
+		fill := bufs[:len(testRows)]
+		for i, r := range testRows {
+			p.Fill(r.Chip, r.Bank, r.Row, fill[i])
+		}
+		wrote = true
+		var fails []memctl.BitAddr
+		perr := s.retrying(ctx, res, func() error {
+			var e error
+			fails, e = s.host.PassCtx(ctx, testRows, fill)
+			return e
+		})
+		if perr != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("onlinetest: epoch cancelled: %w", ctx.Err())
+			}
+			chips, ok := memctl.FaultedChips(perr)
+			if !ok {
+				return nil, fmt.Errorf("onlinetest: test pass: %w", perr)
+			}
+			// Permanent chip fault: quarantine and carry on with the
+			// survivors. The dead chips' rows stay in the restore set —
+			// the deferred restore will account for them.
+			s.quarantine(res, chips)
+			testRows, _ = withoutChips(testRows, nil, chips)
+			continue
 		}
 		res.Tests++
 		s.tests++
@@ -165,11 +320,6 @@ func (s *Scheduler) RunEpoch() (*EpochResult, error) {
 		}
 	}
 
-	// Restore live data.
-	if _, err := s.host.PassWithWait(slice, saved, 0); err != nil {
-		return nil, fmt.Errorf("onlinetest: restoring rows: %w", err)
-	}
-
 	s.cursor = (s.cursor + n) % len(s.rows)
 	if s.cursor == 0 {
 		s.rounds++
@@ -177,6 +327,131 @@ func (s *Scheduler) RunEpoch() (*EpochResult, error) {
 		s.sweepSeen = make(map[memctl.BitAddr]struct{})
 	}
 	return res, nil
+}
+
+// retrying runs op, retrying transient errors up to the configured
+// budget with backoff. Retry accounting lands in both the epoch
+// result and the scheduler totals. Non-transient errors, exhausted
+// budgets, and cancellation return the last error unchanged.
+func (s *Scheduler) retrying(ctx context.Context, res *EpochResult, op func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || !memctl.IsTransient(err) || attempt >= s.cfg.MaxRetries {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		res.Retries++
+		s.retries++
+		if s.cfg.RetryBackoff > 0 {
+			time.Sleep(s.cfg.RetryBackoff)
+		}
+	}
+}
+
+// quarantine marks chips out of service, recording them (sorted,
+// deduplicated) in the epoch result.
+func (s *Scheduler) quarantine(res *EpochResult, chips []int) {
+	for _, c := range chips {
+		if _, q := s.quarantined[c]; q {
+			continue
+		}
+		s.quarantined[c] = struct{}{}
+		res.Quarantined = append(res.Quarantined, c)
+	}
+	sort.Ints(res.Quarantined)
+}
+
+// withoutChips filters out the rows (and, when non-nil, the parallel
+// data slice entries) whose chip is in drop, returning fresh slices
+// so callers can keep the originals.
+func withoutChips(rows []memctl.Row, data [][]uint64, drop []int) ([]memctl.Row, [][]uint64) {
+	dead := make(map[int]struct{}, len(drop))
+	for _, c := range drop {
+		dead[c] = struct{}{}
+	}
+	outR := make([]memctl.Row, 0, len(rows))
+	var outD [][]uint64
+	if data != nil {
+		outD = make([][]uint64, 0, len(data))
+	}
+	for i, r := range rows {
+		if _, q := dead[r.Chip]; q {
+			continue
+		}
+		outR = append(outR, r)
+		if data != nil {
+			outD = append(outD, data[i])
+		}
+	}
+	return outR, outD
+}
+
+// restore writes the saved live data back and verifies it, retrying
+// transient faults and quarantining chips that fail permanently.
+// Verified mismatches and unrestorable rows are recorded in res. rows
+// may include chips quarantined mid-epoch: restore still tries them
+// (the data was overwritten, and an intermittent chip may be back),
+// and only gives them up as unrestored when the hardware refuses.
+func (s *Scheduler) restore(ctx context.Context, res *EpochResult, rows []memctl.Row, saved [][]uint64) {
+	for len(rows) > 0 {
+		var mismatch []memctl.BitAddr
+		err := s.retrying(ctx, res, func() error {
+			var e error
+			mismatch, e = s.host.PassWithWaitCtx(ctx, rows, saved, 0)
+			return e
+		})
+		if err == nil {
+			res.RestoreMismatch = append(res.RestoreMismatch, mismatch...)
+			return
+		}
+		chips, ok := memctl.FaultedChips(err)
+		if !ok {
+			// No chip attribution: nothing actionable, everything still
+			// pending is unrestored.
+			res.UnrestoredRows = append(res.UnrestoredRows, rows...)
+			return
+		}
+		// The faulted chips' rows are lost; survivors get another
+		// restore pass. Each iteration removes at least the faulted
+		// chips' rows from the set, so this terminates.
+		s.quarantine(res, chips)
+		for _, r := range rows {
+			for _, c := range chips {
+				if r.Chip == c {
+					res.UnrestoredRows = append(res.UnrestoredRows, r)
+					break
+				}
+			}
+		}
+		rows, saved = withoutChips(rows, saved, chips)
+	}
+}
+
+// report publishes the epoch's resilience accounting through the
+// host's recorder, if one is attached.
+func (s *Scheduler) report(res *EpochResult) {
+	rec := s.host.Recorder()
+	if rec == nil {
+		return
+	}
+	if res.Retries > 0 {
+		rec.Add(obs.CounterRetries, uint64(res.Retries))
+	}
+	if len(res.Quarantined) > 0 {
+		rec.Add(obs.CounterQuarantinedChips, uint64(len(res.Quarantined)))
+	}
+	if res.Degraded || len(res.SkippedRows) > 0 || len(res.Quarantined) > 0 {
+		rec.Add(obs.CounterDegradedEpochs, 1)
+	}
+	if len(res.RestoreMismatch) > 0 {
+		rec.Add(obs.CounterUnrestoredBits, uint64(len(res.RestoreMismatch)))
+	}
+	if len(res.UnrestoredRows) > 0 {
+		rec.Add(obs.CounterUnrestoredRows, uint64(len(res.UnrestoredRows)))
+	}
 }
 
 // Coverage returns the fraction of the module tested in the current
@@ -200,5 +475,21 @@ func (s *Scheduler) Failures() map[memctl.BitAddr]struct{} {
 	return out
 }
 
-// Tests returns the total pass count across epochs.
+// Tests returns the total successful pass count across epochs.
 func (s *Scheduler) Tests() int { return s.tests }
+
+// Quarantined returns the chips currently out of service, ascending.
+func (s *Scheduler) Quarantined() []int {
+	out := make([]int, 0, len(s.quarantined))
+	for c := range s.quarantined {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Retries returns the total retry attempts consumed across epochs.
+func (s *Scheduler) Retries() int { return s.retries }
+
+// DegradedEpochs returns how many epochs ran with partial coverage.
+func (s *Scheduler) DegradedEpochs() int { return s.degraded }

@@ -1,0 +1,108 @@
+package onlinetest
+
+import (
+	"fmt"
+	"sort"
+
+	"parbor/internal/memctl"
+)
+
+// State is the scheduler's complete serializable progress: everything
+// needed to rebuild a Scheduler that continues a sweep exactly where
+// this one stopped. The checkpoint layer (internal/checkpoint) wraps
+// it together with the module's simulation clocks into the
+// parbor/checkpoint/v1 snapshot.
+type State struct {
+	// Config rebuilds the pattern set and epoch budget. Distances are
+	// part of it, so a resumed run does not need to re-detect.
+	Config Config `json:"config"`
+	// Cursor/Rounds/Tests mirror the scheduler's sweep progress.
+	Cursor int `json:"cursor"`
+	Rounds int `json:"rounds"`
+	Tests  int `json:"tests"`
+	// EverSeen and SweepSeen are the failure sets, in canonical
+	// (chip, bank, row, col) order so the encoding is deterministic.
+	EverSeen  []memctl.BitAddr `json:"ever_seen"`
+	SweepSeen []memctl.BitAddr `json:"sweep_seen"`
+	// Quarantined chips, ascending.
+	Quarantined []int `json:"quarantined,omitempty"`
+	// Retries and DegradedEpochs carry the resilience totals across
+	// the interruption.
+	Retries        int `json:"retries,omitempty"`
+	DegradedEpochs int `json:"degraded_epochs,omitempty"`
+}
+
+// State exports the scheduler's progress. The returned value shares
+// nothing with the scheduler; mutating it is safe.
+func (s *Scheduler) State() State {
+	cfg := s.cfg
+	cfg.Distances = append([]int(nil), s.cfg.Distances...)
+	return State{
+		Config:         cfg,
+		Cursor:         s.cursor,
+		Rounds:         s.rounds,
+		Tests:          s.tests,
+		EverSeen:       sortedAddrs(s.everSeen),
+		SweepSeen:      sortedAddrs(s.sweepSeen),
+		Quarantined:    s.Quarantined(),
+		Retries:        s.retries,
+		DegradedEpochs: s.degraded,
+	}
+}
+
+// Resume rebuilds a scheduler from exported State against a freshly
+// constructed host. The host must wrap a module with the same
+// geometry the state was captured from; Resume checks what it can
+// (cursor range) and trusts the checkpoint layer for the rest.
+func Resume(host *memctl.Host, st State) (*Scheduler, error) {
+	s, err := New(host, st.Config)
+	if err != nil {
+		return nil, err
+	}
+	if st.Cursor < 0 || st.Cursor >= len(s.rows) {
+		return nil, fmt.Errorf("onlinetest: resume cursor %d outside module's %d rows", st.Cursor, len(s.rows))
+	}
+	if st.Rounds < 0 || st.Tests < 0 || st.Retries < 0 || st.DegradedEpochs < 0 {
+		return nil, fmt.Errorf("onlinetest: negative resume progress counters")
+	}
+	s.cursor = st.Cursor
+	s.rounds = st.Rounds
+	s.tests = st.Tests
+	s.retries = st.Retries
+	s.degraded = st.DegradedEpochs
+	for _, a := range st.EverSeen {
+		s.everSeen[a] = struct{}{}
+	}
+	for _, a := range st.SweepSeen {
+		s.sweepSeen[a] = struct{}{}
+	}
+	for _, c := range st.Quarantined {
+		if c < 0 || c >= host.Chips() {
+			return nil, fmt.Errorf("onlinetest: resume quarantines chip %d outside module's %d chips", c, host.Chips())
+		}
+		s.quarantined[c] = struct{}{}
+	}
+	return s, nil
+}
+
+// sortedAddrs flattens a failure set into canonical order.
+func sortedAddrs(set map[memctl.BitAddr]struct{}) []memctl.BitAddr {
+	out := make([]memctl.BitAddr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Chip != b.Chip {
+			return a.Chip < b.Chip
+		}
+		if a.Bank != b.Bank {
+			return a.Bank < b.Bank
+		}
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+	return out
+}

@@ -11,6 +11,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,7 +27,15 @@ import (
 // already running complete), and the first error — in dispatch order
 // of occurrence, not index order — is returned.
 func Map(n, workers int, fn func(i int) error) error {
-	return MapTimed(n, workers, fn, nil)
+	return MapTimedCtx(context.Background(), n, workers, fn, nil)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, no
+// new indices are dispatched (tasks already running complete) and
+// ctx.Err() is returned unless a task error landed first. Tasks that
+// want prompt cancellation must additionally observe ctx themselves.
+func MapCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return MapTimedCtx(ctx, n, workers, fn, nil)
 }
 
 // MapTimed is Map with per-task observability: when onTask is
@@ -37,6 +46,13 @@ func Map(n, workers int, fn func(i int) error) error {
 // and results are unchanged by it. The test host uses this to
 // histogram per-chip shard times and expose load imbalance.
 func MapTimed(n, workers int, fn func(i int) error, onTask func(i int, d time.Duration)) error {
+	return MapTimedCtx(context.Background(), n, workers, fn, onTask)
+}
+
+// MapTimedCtx combines MapTimed and MapCtx. Every worker goroutine
+// it starts is joined before it returns, on every path — cancelled,
+// errored, or clean — so callers never leak pool goroutines.
+func MapTimedCtx(ctx context.Context, n, workers int, fn func(i int) error, onTask func(i int, d time.Duration)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -48,6 +64,9 @@ func MapTimed(n, workers int, fn func(i int) error, onTask func(i int, d time.Du
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := call(fn, i, onTask); err != nil {
 				return err
 			}
@@ -84,11 +103,16 @@ dispatch:
 		case next <- i:
 		case <-done:
 			break dispatch
+		case <-ctx.Done():
+			break dispatch
 		}
 	}
 	close(next)
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // call invokes fn(i), converting a panic into an error so that one

@@ -1,9 +1,11 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -121,5 +123,88 @@ func TestMapSerialPathStopsOnError(t *testing.T) {
 	})
 	if err == nil || ran != 5 {
 		t.Fatalf("ran=%d err=%v, want 5 tasks then error", ran, err)
+	}
+}
+
+// TestMapCtxCancelStopsDispatch: cancelling mid-run must stop new
+// tasks promptly, join every worker, and surface ctx.Err().
+func TestMapCtxCancelStopsDispatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		const n = 10_000
+		err := MapCtx(ctx, n, workers, func(i int) error {
+			if started.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Dispatch stops at the next select; in-flight tasks (at most
+		// one per worker) may still finish.
+		if got := started.Load(); got > 5+int32(workers)+1 {
+			t.Errorf("workers=%d: %d tasks started after cancellation at 5", workers, got)
+		}
+	}
+}
+
+// TestMapCtxPreCancelled: an already-done ctx runs nothing at all.
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := false
+		err := MapCtx(ctx, 100, workers, func(i int) error {
+			ran = true
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran {
+			t.Errorf("workers=%d: task ran under a pre-cancelled ctx", workers)
+		}
+	}
+}
+
+// TestMapCtxNoGoroutineLeak: cancellation must not strand workers.
+func TestMapCtxNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = MapCtx(ctx, 1000, 8, func(i int) error {
+			if i == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("20 cancelled MapCtx rounds leaked goroutines: %d -> %d", before, after)
+	}
+}
+
+// TestMapCtxTaskErrorBeatsCtxError: a real task error reported before
+// cancellation wins over the ctx error, so callers see the root cause.
+func TestMapCtxTaskErrorBeatsCtxError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := MapCtx(ctx, 100, 2, func(i int) error {
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the task's own error", err)
 	}
 }

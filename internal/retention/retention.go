@@ -16,6 +16,7 @@
 package retention
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -113,6 +114,13 @@ func (p *Profiler) Schedule() []float64 {
 // for a worst-case-honest profile, or solid patterns to see how badly
 // a naive profile overestimates retention.
 func (p *Profiler) ProfileModule(pats []patterns.Pattern) (*Profile, error) {
+	return p.ProfileModuleCtx(context.Background(), pats)
+}
+
+// ProfileModuleCtx is ProfileModule with cooperative cancellation: a
+// done ctx stops the sweep inside the current pass and returns ctx's
+// error instead of a partial profile.
+func (p *Profiler) ProfileModuleCtx(ctx context.Context, pats []patterns.Pattern) (*Profile, error) {
 	if len(pats) == 0 {
 		return nil, fmt.Errorf("retention: no stress patterns")
 	}
@@ -127,9 +135,12 @@ func (p *Profiler) ProfileModule(pats []patterns.Pattern) (*Profile, error) {
 		for _, base := range pats {
 			for _, pat := range []patterns.Pattern{base, base.Inverse()} {
 				fill := pat.Fill
-				fails := p.host.FullPassWithWait(func(r memctl.Row, buf []uint64) {
+				fails, err := p.host.FullPassWithWaitCtx(ctx, func(r memctl.Row, buf []uint64) {
 					fill(r.Chip, r.Bank, r.Row, buf)
 				}, w)
+				if err != nil {
+					return nil, fmt.Errorf("retention: pass at wait %v ms: %w", w, err)
+				}
 				tests++
 				for _, a := range fails {
 					row := memctl.Row{Chip: int(a.Chip), Bank: int(a.Bank), Row: int(a.Row)}

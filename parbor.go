@@ -32,6 +32,8 @@
 package parbor
 
 import (
+	"parbor/internal/chaos"
+	"parbor/internal/checkpoint"
 	"parbor/internal/core"
 	"parbor/internal/coupling"
 	"parbor/internal/dram"
@@ -346,20 +348,77 @@ func RefreshManagedSet(classified []ClassifiedVictim) map[BitAddr]bool {
 	return repair.BuildRefreshManaged(classified)
 }
 
-// OnlineConfig tunes the in-field test scheduler.
+// OnlineConfig tunes the in-field test scheduler, including its
+// resilience policies (retry budget and backoff for transient faults).
 type OnlineConfig = onlinetest.Config
 
 // OnlineScheduler runs data-preserving test epochs against a live
 // module (Section 1's in-the-field deployment setting).
 type OnlineScheduler = onlinetest.Scheduler
 
-// OnlineEpochResult summarizes one epoch.
+// OnlineEpochResult summarizes one epoch, including its resilience
+// accounting: retries consumed, chips quarantined, skipped and
+// unrestored rows, and whether coverage was degraded.
 type OnlineEpochResult = onlinetest.EpochResult
 
 // NewOnlineScheduler builds an in-field test scheduler on a host.
 func NewOnlineScheduler(host *Host, cfg OnlineConfig) (*OnlineScheduler, error) {
 	return onlinetest.New(host, cfg)
 }
+
+// OnlineState is a scheduler's complete serializable progress.
+type OnlineState = onlinetest.State
+
+// ResumeOnlineScheduler rebuilds a scheduler from exported state; see
+// Checkpoint for the full interrupt/resume flow.
+func ResumeOnlineScheduler(host *Host, st OnlineState) (*OnlineScheduler, error) {
+	return onlinetest.Resume(host, st)
+}
+
+// FaultPlane injects controller-side faults into a host's read and
+// write paths (attach via HostConfig.Faults). internal/chaos provides
+// the standard deterministic implementation.
+type FaultPlane = memctl.FaultPlane
+
+// ChaosConfig parameterizes the deterministic fault plane: transient
+// read/write fault probabilities, shard stalls, and scheduled chip
+// outages. The zero value injects nothing.
+type ChaosConfig = chaos.Config
+
+// ChaosPlane is the deterministic FaultPlane implementation.
+type ChaosPlane = chaos.Plane
+
+// ChaosWindow schedules a chip outage in host pass-attempt numbers.
+type ChaosWindow = chaos.Window
+
+// NewChaosPlane validates cfg and builds a fault plane reporting to
+// rec (nil for no reporting).
+func NewChaosPlane(cfg ChaosConfig, rec Recorder) (*ChaosPlane, error) {
+	return chaos.New(cfg, rec)
+}
+
+// IsTransient reports whether an error from a host operation is a
+// transient fault worth retrying.
+func IsTransient(err error) bool { return memctl.IsTransient(err) }
+
+// FaultedChips extracts the chip attribution from a host pass error,
+// reporting ok=false when the error carries none.
+func FaultedChips(err error) ([]int, bool) { return memctl.FaultedChips(err) }
+
+// Checkpoint is a parbor/checkpoint/v1 snapshot of an online sweep:
+// scheduler state plus per-chip simulation clocks, sufficient to
+// resume the sweep bit-identically on a module rebuilt from the same
+// configuration and seed.
+type Checkpoint = checkpoint.Snapshot
+
+// CaptureCheckpoint snapshots a mid-sweep online run. Call it between
+// epochs.
+func CaptureCheckpoint(mod *Module, seed uint64, st OnlineState) *Checkpoint {
+	return checkpoint.Capture(mod, seed, st)
+}
+
+// ReadCheckpoint loads a snapshot written by Checkpoint.WriteFile.
+func ReadCheckpoint(path string) (*Checkpoint, error) { return checkpoint.ReadFile(path) }
 
 // ExtendedResult is the outcome of second-order neighbor detection
 // (Tester.DetectExtendedNeighbors) — the generalization the paper's
