@@ -211,10 +211,12 @@ func BenchmarkAblationFanout(b *testing.B) {
 		if l2 <= l8 {
 			b.Fatalf("binary split used %d levels, 8-way %d; expected more", l2, l8)
 		}
+		if t2 < t8 {
+			b.Fatalf("binary split used %d tests, 8-way %d; binary's extra levels must not come out cheaper overall", t2, t8)
+		}
 	}
 	b.ReportMetric(float64(t8), "tests/fanout8")
 	b.ReportMetric(float64(t2), "tests/fanout2")
-	_ = t2
 }
 
 // BenchmarkAblationRankThreshold sweeps the ranking threshold: too
@@ -492,6 +494,69 @@ func BenchmarkAblationPerBankRefresh(b *testing.B) {
 	b.ReportMetric(100*gainPerBank, "%gain-perbank")
 }
 
+// BenchmarkPassHotLoop measures the steady-state write-wait-read pass
+// over a fixed victim-row set — the hot path under the recursive
+// test, the classifier, and the online scheduler. The host is warmed
+// first (row metadata materialized, scratch grown), so the loop
+// measures exactly what repeats: per-pass bookkeeping, the write and
+// read sweeps, and the retention wait. ReportAllocs guards the
+// zero-allocation contract (see TestPassZeroAllocsSteadyState for the
+// hard budget).
+func BenchmarkPassHotLoop(b *testing.B) {
+	for _, bench := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"sharded", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			cc := parbor.DefaultCouplingConfig()
+			cc.VulnerableRate = 2e-3
+			mod, err := parbor.NewModule(parbor.ModuleConfig{
+				Name:     "bench-pass",
+				Vendor:   parbor.VendorA,
+				Chips:    8,
+				Geometry: parbor.Geometry{Banks: 1, Rows: 256, Cols: 8192},
+				Coupling: cc,
+				Faults:   parbor.DefaultFaultsConfig(),
+				Seed:     42,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			host, err := parbor.NewHostWithConfig(mod, parbor.HostConfig{WaitMs: 64, Parallelism: bench.parallelism})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// 16 rows per chip, all of non-inverted polarity, written
+			// all-zeros: the steady state of a quiet module, where a
+			// pass finds nothing and should allocate nothing.
+			words := host.Geometry().Words()
+			var rows []parbor.Row
+			data := make([][]uint64, 0, 8*16)
+			for chip := 0; chip < host.Chips(); chip++ {
+				for r := 0; r < 16; r++ {
+					rows = append(rows, parbor.Row{Chip: chip, Bank: 0, Row: r * 4})
+					data = append(data, make([]uint64, words))
+				}
+			}
+			for warm := 0; warm < 3; warm++ {
+				if _, err := host.Pass(rows, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := host.Pass(rows, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFullPassParallelism contrasts the serial test host with
 // the chip-sharded host on an 8-chip module: the full-module
 // write-wait-read sweep is the hot path of every detection
@@ -523,14 +588,20 @@ func BenchmarkFullPassParallelism(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			gen := func(r parbor.Row, buf []uint64) {
-				for i := range buf {
-					buf[i] = 0xaaaaaaaaaaaaaaaa
-				}
+			// One immutable checker row aliased across the whole
+			// module — the path the pipeline takes for its uniform
+			// patterns (see patterns.Arena and memctl.RowSource).
+			row := make([]uint64, host.Geometry().Words())
+			for i := range row {
+				row[i] = 0xaaaaaaaaaaaaaaaa
 			}
+			src := func(parbor.Row) []uint64 { return row }
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				host.FullPass(gen)
+				if _, err := host.FullPassRows(src); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

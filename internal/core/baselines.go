@@ -25,10 +25,9 @@ func (t *Tester) RandomPatternTest(passes int) FailureSet {
 func (t *Tester) RandomPatternTestCtx(ctx context.Context, passes int) (FailureSet, error) {
 	fails := make(FailureSet)
 	for i := 0; i < passes; i++ {
-		p := patterns.Random(t.cfg.Seed, i)
-		got, err := t.host.FullPassCtx(ctx, func(r memctl.Row, buf []uint64) {
-			p.Fill(r.Chip, r.Bank, r.Row, buf)
-		})
+		// Random patterns are row-dependent (not Uniform), so this
+		// takes fullPassPattern's per-row generation path.
+		got, err := t.fullPassPattern(ctx, t.arena, patterns.Random(t.cfg.Seed, i))
 		if err != nil {
 			return nil, fmt.Errorf("core: random pass %d: %w", i, err)
 		}
@@ -44,10 +43,11 @@ func (t *Tester) SimplePatternTest() FailureSet {
 	fails := make(FailureSet)
 	solid := patterns.Solid()
 	for _, p := range []patterns.Pattern{solid, solid.Inverse()} {
-		fill := p.Fill
-		fails.Add(t.host.FullPass(func(r memctl.Row, buf []uint64) {
-			fill(r.Chip, r.Bank, r.Row, buf)
-		}))
+		got, err := t.fullPassPattern(context.Background(), t.arena, p)
+		if err != nil {
+			panic(err)
+		}
+		fails.Add(got)
 	}
 	return fails
 }

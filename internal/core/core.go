@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"parbor/internal/memctl"
+	"parbor/internal/patterns"
 )
 
 // Config tunes the PARBOR tester.
@@ -104,6 +105,12 @@ func (c Config) Validate() error {
 type Tester struct {
 	host *memctl.Host
 	cfg  Config
+	// arena memoizes the uniform fixed-name patterns (discovery
+	// stripes, solid, and their inverses) so repeated full-module
+	// passes alias one immutable row instead of refilling every row.
+	// Neighbor-aware pattern sets get a fresh arena per generation:
+	// their names repeat across distance sets (see patterns.Arena).
+	arena *patterns.Arena
 }
 
 // New builds a Tester. The zero Config selects the paper's defaults.
@@ -114,7 +121,26 @@ func New(host *memctl.Host, cfg Config) (*Tester, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Tester{host: host, cfg: cfg.withDefaults()}, nil
+	return &Tester{
+		host:  host,
+		cfg:   cfg.withDefaults(),
+		arena: patterns.NewArena(host.Geometry().Words()),
+	}, nil
+}
+
+// fullPassPattern runs one full-module pass with pattern p. Uniform
+// patterns alias an arena-memoized row through the host's RowSource
+// path, skipping per-row pattern generation entirely; row-dependent
+// patterns fall back to per-row fills.
+func (t *Tester) fullPassPattern(ctx context.Context, a *patterns.Arena, p patterns.Pattern) ([]memctl.BitAddr, error) {
+	if p.Uniform {
+		row := a.Materialize(p)
+		return t.host.FullPassRowsCtx(ctx, func(memctl.Row) []uint64 { return row })
+	}
+	fill := p.Fill
+	return t.host.FullPassCtx(ctx, func(r memctl.Row, buf []uint64) {
+		fill(r.Chip, r.Bank, r.Row, buf)
+	})
 }
 
 // FailureSet is a set of failing cell addresses.

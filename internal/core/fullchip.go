@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"parbor/internal/memctl"
 	"parbor/internal/patterns"
 )
 
@@ -29,14 +28,15 @@ func (t *Tester) FullChipTestCtx(ctx context.Context, distances []int) (FailureS
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: generating neighbor-aware patterns: %w", err)
 	}
+	// Fresh arena per generated pattern set: NeighborAware reuses
+	// names across distance sets, so the tester-wide arena would serve
+	// stale rows here.
+	arena := patterns.NewArena(t.host.Geometry().Words())
 	fails := make(FailureSet)
 	tests := 0
 	for _, p := range pats {
 		for _, pp := range []patterns.Pattern{p, p.Inverse()} {
-			fill := pp.Fill
-			got, err := t.host.FullPassCtx(ctx, func(r memctl.Row, buf []uint64) {
-				fill(r.Chip, r.Bank, r.Row, buf)
-			})
+			got, err := t.fullPassPattern(ctx, arena, pp)
 			if err != nil {
 				return nil, 0, fmt.Errorf("core: full-chip pass %d: %w", tests, err)
 			}

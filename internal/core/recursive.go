@@ -33,17 +33,16 @@ func (t *Tester) DetectNeighborsCtx(ctx context.Context) (*NeighborResult, error
 	rowBits := t.host.Geometry().Cols
 	sizes := levelSizes(rowBits, t.cfg.FirstSplit, t.cfg.Fanout)
 
-	// Per-victim row buffers, reused across passes.
-	words := t.host.Geometry().Words()
-	bufs := make([][]uint64, len(victims))
-	for i := range bufs {
-		bufs[i] = make([]uint64, words)
-	}
+	// Shared region-pattern buffers: victims probing the same region
+	// with the same fail polarity alias one buffer (the host never
+	// mutates pass data), so a pass fills O(distinct regions) rows,
+	// not O(victims).
+	arena := newRegionArena(t.host.Geometry().Words())
 
 	parentSize := rowBits
 	parentDists := []int{0}
 	for _, size := range sizes {
-		report, err := t.runLevel(ctx, victims, bufs, rowBits, parentSize, size, parentDists)
+		report, err := t.runLevel(ctx, victims, arena, rowBits, parentSize, size, parentDists)
 		if err != nil {
 			return nil, err
 		}
@@ -82,10 +81,67 @@ func levelSizes(rowBits, firstSplit, fanout int) []int {
 	}
 }
 
+// regionKey identifies one shareable region-pattern row within a
+// pass: all victims with the same fail polarity probing the same
+// region write identical data (the victim-bit fix-up below is only
+// needed when the victim lies inside the region).
+type regionKey struct {
+	failData uint64
+	start    int
+}
+
+// regionArena hands out the shared base region-pattern buffers of one
+// recursion pass. Buffers are pooled across passes and levels — reset
+// clears the sharing map but keeps the pool, so the steady state
+// allocates nothing.
+type regionArena struct {
+	words int
+	pool  [][]uint64
+	used  int
+	base  map[regionKey][]uint64
+}
+
+func newRegionArena(words int) *regionArena {
+	return &regionArena{words: words, base: make(map[regionKey][]uint64)}
+}
+
+// reset starts a new pass: all pooled buffers become reusable and no
+// region is materialized.
+func (a *regionArena) reset() {
+	a.used = 0
+	clear(a.base)
+}
+
+// alloc returns a pooled buffer of undefined content.
+func (a *regionArena) alloc() []uint64 {
+	if a.used < len(a.pool) {
+		b := a.pool[a.used]
+		a.used++
+		return b
+	}
+	b := make([]uint64, a.words)
+	a.pool = append(a.pool, b)
+	a.used++
+	return b
+}
+
+// region returns this pass's shared base buffer for (failData,
+// start), filling it on first use.
+func (a *regionArena) region(failData uint64, start, size int) []uint64 {
+	k := regionKey{failData: failData, start: start}
+	if b, ok := a.base[k]; ok {
+		return b
+	}
+	b := a.alloc()
+	fillRegionBase(b, failData, start, size)
+	a.base[k] = b
+	return b
+}
+
 // runLevel performs every region test of one recursion level over all
 // live victims simultaneously, applies marginal-victim filtering, and
 // ranks the observed distances.
-func (t *Tester) runLevel(ctx context.Context, victims []victimInfo, bufs [][]uint64, rowBits, parentSize, size int, parentDists []int) (*LevelReport, error) {
+func (t *Tester) runLevel(ctx context.Context, victims []victimInfo, arena *regionArena, rowBits, parentSize, size int, parentDists []int) (*LevelReport, error) {
 	k := parentSize / size
 	nParents := rowBits / parentSize
 
@@ -104,6 +160,7 @@ func (t *Tester) runLevel(ctx context.Context, victims []victimInfo, bufs [][]ui
 			for key := range addrToVictim {
 				delete(addrToVictim, key)
 			}
+			arena.reset()
 			regionOf := make(map[int]int, 8) // victim index -> absolute region index
 
 			for vi := range victims {
@@ -116,9 +173,21 @@ func (t *Tester) runLevel(ctx context.Context, victims []victimInfo, bufs [][]ui
 					continue
 				}
 				rIdx := parentIdx*k + j
-				fillRegionPattern(bufs[vi], v.failData, rIdx*size, size, int(v.col))
+				start := rIdx * size
+				row := arena.region(v.failData, start, size)
+				if c := int(v.col); c >= start && c < start+size {
+					// The victim bit lies inside the complemented
+					// region and must keep its fail value (Section
+					// 5.2.3): this victim needs a dedicated copy.
+					// Outside the region the base row already holds
+					// failData at the victim bit, so sharing is exact.
+					fixed := arena.alloc()
+					copy(fixed, row)
+					setBitTo(fixed, c, v.failData)
+					row = fixed
+				}
 				prows = append(prows, v.row)
-				pdata = append(pdata, bufs[vi])
+				pdata = append(pdata, row)
 				addrToVictim[memctl.BitAddr{
 					Chip: int16(v.row.Chip),
 					Bank: int16(v.row.Bank),
@@ -192,11 +261,10 @@ func rankDistances(freq map[int]int, threshold float64) []int {
 	return out
 }
 
-// fillRegionPattern builds one victim row's test pattern: every bit
-// holds the victim's fail value except the region under test, which
-// holds the complement; the victim bit itself keeps its fail value
-// even when it lies inside the region (Section 5.2.3).
-func fillRegionPattern(buf []uint64, failData uint64, start, size, victimCol int) {
+// fillRegionBase builds the victim-agnostic half of a region test
+// pattern: every bit holds the fail value except the region under
+// test, which holds the complement.
+func fillRegionBase(buf []uint64, failData uint64, start, size int) {
 	fill := uint64(0)
 	if failData != 0 {
 		fill = ^uint64(0)
@@ -220,5 +288,13 @@ func fillRegionPattern(buf []uint64, failData uint64, start, size, victimCol int
 		}
 		buf[w] ^= mask // complement the region bits
 	}
+}
+
+// fillRegionPattern builds one victim row's test pattern: every bit
+// holds the victim's fail value except the region under test, which
+// holds the complement; the victim bit itself keeps its fail value
+// even when it lies inside the region (Section 5.2.3).
+func fillRegionPattern(buf []uint64, failData uint64, start, size, victimCol int) {
+	fillRegionBase(buf, failData, start, size)
 	setBitTo(buf, victimCol, failData)
 }

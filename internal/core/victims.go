@@ -45,10 +45,7 @@ func (t *Tester) discoverVictims(ctx context.Context) ([]victimInfo, int, Failur
 	discovered := make(FailureSet)
 
 	for i, p := range all {
-		fill := p.Fill
-		fails, err := t.host.FullPassCtx(ctx, func(r memctl.Row, buf []uint64) {
-			fill(r.Chip, r.Bank, r.Row, buf)
-		})
+		fails, err := t.fullPassPattern(ctx, t.arena, p)
 		if err != nil {
 			return nil, 0, nil, fmt.Errorf("core: discovery pass %d: %w", i, err)
 		}
@@ -75,12 +72,12 @@ func (t *Tester) discoverVictims(ctx context.Context) ([]victimInfo, int, Failur
 		if prev, ok := perRow[r]; ok && prev.col <= a.Col {
 			continue // keep the lowest-column victim per row (deterministic)
 		}
-		buf := make([]uint64, t.host.Geometry().Words())
-		all[o.firstPass].Fill(r.Chip, r.Bank, r.Row, buf)
+		// Discovery patterns are uniform, so the failing pass's data
+		// for this row is just its memoized arena row.
 		perRow[r] = victimInfo{
 			row:      r,
 			col:      a.Col,
-			failData: bitAt(buf, int(a.Col)),
+			failData: bitAt(t.arena.Materialize(all[o.firstPass]), int(a.Col)),
 		}
 	}
 

@@ -13,6 +13,7 @@ package dram
 
 import (
 	"fmt"
+	"slices"
 
 	"parbor/internal/coupling"
 	"parbor/internal/faults"
@@ -81,6 +82,32 @@ type Chip struct {
 	meta  []*rowMeta         // lazy per flat row
 	remap map[int32]struct{} // remapped system columns (chip-wide)
 
+	// Cached label-children of root. The hot paths (one draw per row
+	// read, per VRT tick, per remap/marginal event) derive their
+	// per-event streams with At(n) off these instead of SplitN, which
+	// skips both the label hash and the per-draw heap allocation.
+	// Stream-identical to the SplitN calls they replace (rng contract,
+	// TestValueVariantsMatchPointerVariants).
+	vrtSrc      rng.Source // "vrt-toggle"
+	softSrc     rng.Source // "soft"
+	marginalSrc rng.Source // "marginal"
+	remapSrc    rng.Source // "remap-fail"
+	rowSrc      rng.Source // "row"
+
+	// vrtRows indexes the materialized rows owning at least one VRT
+	// cell, in ascending flat-row order; rows are inserted exactly
+	// once, when rowMetaFor materializes them. Wait walks this index
+	// instead of scanning every materialized row's cell list.
+	//
+	// Invariant (VRT draw order): the "vrt-toggle" stream must be
+	// consumed in ascending (flat row, fcell index) order — exactly
+	// the order the pre-index implementation's full scan produced —
+	// because every failure set, golden checksum and obs counter
+	// downstream is pinned to that draw sequence. Keeping the index
+	// sorted by flat row, and each rowMeta.vrtIdx ascending, preserves
+	// it regardless of the order rows happen to materialize in.
+	vrtRows []int32
+
 	// rec, when non-nil, receives command-accounting events. It must
 	// be safe for concurrent use: sibling chips record into the same
 	// Recorder from their per-chip worker goroutines.
@@ -103,7 +130,8 @@ type rowMeta struct {
 	raw     []coupling.Victim // ground-truth victims, as drawn from the RNG
 	victims []vcell
 	fcells  []faults.Cell
-	vrtOn   []bool // parallel to fcells; leaky state of VRT cells
+	vrtOn   []bool  // parallel to fcells; leaky state of VRT cells
+	vrtIdx  []int32 // ascending indices into fcells of the VRT cells
 }
 
 // NewChip builds a chip. The chip's process variation (victim
@@ -149,6 +177,11 @@ func NewChip(cfg ChipConfig) (*Chip, error) {
 		rec:     cfg.Recorder,
 	}
 	c.remap = cfg.Faults.RemappedColumns(root.Split("remap"), cfg.Geometry.Cols)
+	c.vrtSrc = root.Child("vrt-toggle")
+	c.softSrc = root.Child("soft")
+	c.marginalSrc = root.Child("marginal")
+	c.remapSrc = root.Child("remap-fail")
+	c.rowSrc = root.Child("row")
 	return c, nil
 }
 
@@ -192,15 +225,15 @@ func (c *Chip) Wait(ms float64) {
 	c.nowMs += ms
 	c.pass++
 	if c.fc.VRTRate > 0 {
-		src := c.root.SplitN("vrt-toggle", c.pass)
-		for _, m := range c.meta {
-			if m == nil {
-				continue
-			}
-			for i, fcell := range m.fcells {
-				if fcell.Kind == faults.KindVRT {
-					m.vrtOn[i] = src.Bool(c.fc.VRTToggleProb)
-				}
+		// Walk the VRT cell index instead of every materialized row:
+		// the index is kept in ascending (flat row, fcell index)
+		// order, so the draw sequence below is bit-identical to the
+		// full scan it replaced (see the vrtRows invariant).
+		src := c.vrtSrc.At(c.pass)
+		for _, flat := range c.vrtRows {
+			m := c.meta[flat]
+			for _, i := range m.vrtIdx {
+				m.vrtOn[i] = src.Bool(c.fc.VRTToggleProb)
 			}
 		}
 	}
@@ -212,7 +245,7 @@ func (c *Chip) rowMetaFor(flat int) *rowMeta {
 	if m := c.meta[flat]; m != nil {
 		return m
 	}
-	src := c.root.SplitN("row", uint64(flat))
+	src := c.rowSrc.At(uint64(flat))
 	raw := c.cc.RowVictims(src.Split("victims"), c.geom.Cols)
 	m := &rowMeta{
 		raw:     raw,
@@ -220,6 +253,14 @@ func (c *Chip) rowMetaFor(flat int) *rowMeta {
 		fcells:  c.fc.RowCells(src.Split("faults"), c.geom.Cols),
 	}
 	m.vrtOn = make([]bool, len(m.fcells))
+	for i, fcell := range m.fcells {
+		if fcell.Kind == faults.KindVRT {
+			m.vrtIdx = append(m.vrtIdx, int32(i))
+		}
+	}
+	if len(m.vrtIdx) > 0 {
+		c.indexVRTRow(int32(flat))
+	}
 	for _, v := range raw {
 		vc := vcell{
 			col:         v.Col,
@@ -244,6 +285,14 @@ func (c *Chip) rowMetaFor(flat int) *rowMeta {
 	}
 	c.meta[flat] = m
 	return m
+}
+
+// indexVRTRow inserts a freshly materialized flat row index into the
+// sorted VRT row index. Rows materialize exactly once, so the insert
+// runs once per VRT-bearing row, never on the per-pass path.
+func (c *Chip) indexVRTRow(flat int32) {
+	i, _ := slices.BinarySearch(c.vrtRows, flat)
+	c.vrtRows = slices.Insert(c.vrtRows, i, flat)
 }
 
 // surroundCells walks the physical segment outward from col and
@@ -302,7 +351,11 @@ func (c *Chip) ReadRow(bank, row int, dst []uint64) {
 	anti := c.antiRow(row)
 	m := c.rowMetaFor(idx)
 
-	for _, v := range m.victims {
+	// Iterate by index: vcell is ~48 bytes and this loop runs for
+	// every victim of every row read, so a by-value range would spend
+	// a large share of the read path copying structs.
+	for i := range m.victims {
+		v := &m.victims[i]
 		if elapsed < float64(v.retentionMs) {
 			continue
 		}
@@ -322,7 +375,7 @@ func charged(words []uint64, col int, anti bool) bool {
 
 // victimFails evaluates the coupling failure condition for one victim
 // against the stored row content.
-func (c *Chip) victimFails(stored []uint64, anti bool, flat int, v vcell) bool {
+func (c *Chip) victimFails(stored []uint64, anti bool, flat int, v *vcell) bool {
 	if !charged(stored, int(v.col), anti) {
 		// Only charged cells leak toward the opposite value within
 		// the retention window; the inverse test pattern covers the
@@ -333,8 +386,7 @@ func (c *Chip) victimFails(stored []uint64, anti bool, flat int, v vcell) bool {
 		// The redundant cell's physical neighbors are spare columns
 		// outside the system address space: the failure fires
 		// sporadically, independent of written data.
-		src := c.root.SplitN("remap-fail",
-			c.pass<<32|uint64(flat)<<13|uint64(v.col))
+		src := c.remapSrc.At(c.pass<<32 | uint64(flat)<<13 | uint64(v.col))
 		return src.Bool(c.fc.RemappedFailProb)
 	}
 	leftOpposite := v.left >= 0 && !charged(stored, int(v.left), anti)
@@ -379,8 +431,7 @@ func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []u
 			}
 		case faults.KindMarginal:
 			if elapsed >= marginalRetentionMs && charged(stored, col, anti) {
-				src := c.root.SplitN("marginal",
-					c.pass<<32|uint64(flat)<<13|uint64(fcell.Col))
+				src := c.marginalSrc.At(c.pass<<32 | uint64(flat)<<13 | uint64(fcell.Col))
 				if src.Bool(c.fc.MarginalFailProb) {
 					flipBit(dst, col)
 				}
@@ -392,7 +443,7 @@ func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []u
 		}
 	}
 	if c.fc.SoftErrorPerRowRead > 0 {
-		src := c.root.SplitN("soft", c.pass<<32|uint64(flat))
+		src := c.softSrc.At(c.pass<<32 | uint64(flat))
 		if src.Bool(c.fc.SoftErrorPerRowRead) {
 			flipBit(dst, src.Intn(c.geom.Cols))
 		}

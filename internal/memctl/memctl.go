@@ -68,6 +68,17 @@ type BitAddr struct {
 	Col  int32
 }
 
+// RowSource supplies the pattern data of one row of a full-module
+// pass. The host aliases the returned slice — it is read during the
+// write sweep and again during the compare sweep, never mutated and
+// never retained past the pass — so a source may hand the same
+// immutable backing array to every row (see patterns.Arena). The
+// slice must hold Geometry().Words() words and must stay unchanged
+// for the duration of the pass. Like the gen callback of FullPass, a
+// RowSource may be invoked concurrently from per-chip workers
+// (always with distinct rows), so it must not mutate shared state.
+type RowSource func(r Row) []uint64
+
 // HostConfig tunes a test host.
 type HostConfig struct {
 	// WaitMs is the retention wait applied between the write and read
@@ -100,6 +111,12 @@ type HostConfig struct {
 // deterministic because chips are independent and per-chip results
 // are merged in a fixed order, so the output is bit-identical to the
 // serial path.
+//
+// The single-writer contract is also what makes the steady-state
+// pass loop allocation-free: every per-pass index and buffer below
+// is host-owned scratch, rebuilt in place at the start of each sweep
+// instead of freshly allocated, and the per-chip entries are only
+// ever touched by the one worker that owns the chip during a pass.
 type Host struct {
 	mod    *dram.Module
 	waitMs float64
@@ -121,6 +138,49 @@ type Host struct {
 	// buffers race-free without locking.
 	chipScratch [][]uint64 // read-back buffer per chip
 	chipPattern [][]uint64 // generated-pattern buffer per chip
+
+	// Reusable per-pass scratch (see the Host comment).
+	byChip   [][]int      // row-list indices bucketed per chip, caller order
+	active   []int        // chips owning >= 1 bucketed row this pass
+	slots    []*ChipFault // per-chip fault slots; nil when no plane attached
+	perIndex [][]BitAddr  // readAndDiff: failures per row-list index
+	perChip  [][]BitAddr  // full pass: failures per chip
+
+	// Double-buffered per-chip paused sets for autoRefreshExcept:
+	// dram.Chip retains the set it was handed until the next refresh
+	// epoch, so the host alternates between two generations — while
+	// the chips hold generation g, generation 1-g is dead and can be
+	// cleared and rebuilt without reallocating the maps.
+	paused     [2][]map[int]struct{}
+	pausedFlip int
+
+	// sweep is the state of the sweep in flight, read by the
+	// pre-bound shard methods below. Binding the shard bodies once at
+	// construction (method values) and passing state through this
+	// struct keeps the hot loop free of the per-pass closure
+	// allocations that capturing variables would cost.
+	sweep sweepState
+
+	writeRowsFn func(chip int) error
+	readRowsFn  func(chip int) error
+	writeFullFn func(chip int) error
+	readFullFn  func(chip int) error
+	activeFn    func(k int) error // dispatches sweep.fn over active[k]
+	genFn       RowSource         // adapts sweep.gen to a RowSource
+	onShard     func(i int, d time.Duration)
+}
+
+// sweepState carries one sweep's inputs to the shard methods. It is
+// reset when the pass returns so the host never retains caller
+// slices or contexts across passes.
+type sweepState struct {
+	ctx     context.Context
+	attempt int
+	rows    []Row                     // row-list sweeps
+	data    [][]uint64                // write: data to store; read: expected
+	src     RowSource                 // full-module sweeps
+	gen     func(r Row, buf []uint64) // legacy generator, via genFn
+	fn      func(chip int) error      // shard body dispatched by activeFn
 }
 
 // DefaultWaitMs is the retention wait used by the paper's detection
@@ -161,10 +221,26 @@ func NewHostWithConfig(mod *dram.Module, cfg HostConfig) (*Host, error) {
 		plane:       cfg.Faults,
 		chipScratch: make([][]uint64, chips),
 		chipPattern: make([][]uint64, chips),
+		byChip:      make([][]int, chips),
+		perChip:     make([][]BitAddr, chips),
 	}
 	for i := 0; i < chips; i++ {
 		h.chipScratch[i] = make([]uint64, words)
 		h.chipPattern[i] = make([]uint64, words)
+	}
+	if cfg.Faults != nil {
+		h.slots = make([]*ChipFault, chips)
+	}
+	h.paused[0] = make([]map[int]struct{}, chips)
+	h.paused[1] = make([]map[int]struct{}, chips)
+	h.writeRowsFn = h.writeRowsShard
+	h.readRowsFn = h.readRowsShard
+	h.writeFullFn = h.writeFullShard
+	h.readFullFn = h.readFullShard
+	h.activeFn = h.runActiveShard
+	h.genFn = h.genRowSource
+	if rec := cfg.Recorder; rec != nil {
+		h.onShard = func(_ int, d time.Duration) { rec.ObserveNs(SeriesChipShard, int64(d)) }
 	}
 	return h, nil
 }
@@ -227,21 +303,12 @@ func (h *Host) add(name string, n uint64) {
 	}
 }
 
-// shardTimer returns the worker-pool callback that histograms
-// per-chip shard durations, or nil when no recorder is attached.
-func (h *Host) shardTimer() func(i int, d time.Duration) {
-	if h.rec == nil {
-		return nil
-	}
-	return func(_ int, d time.Duration) { h.rec.ObserveNs(SeriesChipShard, int64(d)) }
-}
-
-// forEachChipErr runs fn(chip) for every chip, fanning out across the
+// forEachChip runs fn(chip) for every chip, fanning out across the
 // host's worker pool when it is larger than one. fn must confine
 // itself to the given chip and its per-chip host buffers. After the
 // first error no further chips are started; a panic in fn is
 // converted to an error by the pool (serial path: it propagates).
-func (h *Host) forEachChipErr(ctx context.Context, fn func(chip int) error) error {
+func (h *Host) forEachChip(ctx context.Context, fn func(chip int) error) error {
 	chips := h.mod.Chips()
 	workers := h.Parallelism()
 	if workers <= 1 || chips <= 1 {
@@ -252,56 +319,59 @@ func (h *Host) forEachChipErr(ctx context.Context, fn func(chip int) error) erro
 		}
 		return nil
 	}
-	return par.MapTimedCtx(ctx, chips, workers, fn, h.shardTimer())
+	return par.MapTimedCtx(ctx, chips, workers, fn, h.onShard)
 }
 
-// rowsByChip buckets row-list indices by chip, preserving the
-// caller's relative order within each chip so the merged results are
-// bit-identical to a serial sweep over the original list.
-func (h *Host) rowsByChip(rows []Row) [][]int {
-	byChip := make([][]int, h.mod.Chips())
-	for i, r := range rows {
-		byChip[r.Chip] = append(byChip[r.Chip], i)
+// bucketRows rebuilds the per-chip row-index buckets and the active
+// chip list for a row-list pass, preserving the caller's relative
+// order within each chip so the merged results are bit-identical to
+// a serial sweep over the original list. The buckets live in host
+// scratch: capacity is retained across passes.
+func (h *Host) bucketRows(rows []Row) {
+	for chip := range h.byChip {
+		h.byChip[chip] = h.byChip[chip][:0]
 	}
-	return byChip
+	for i, r := range rows {
+		h.byChip[r.Chip] = append(h.byChip[r.Chip], i)
+	}
+	h.active = h.active[:0]
+	for chip, idxs := range h.byChip {
+		if len(idxs) > 0 {
+			h.active = append(h.active, chip)
+		}
+	}
 }
 
-// forEachActiveChipErr runs fn for every chip that owns at least one
+// forEachActiveChip runs fn for every chip that owns at least one
 // bucketed row. Small passes often touch a single chip; those skip
 // the pool entirely rather than paying fan-out overhead for no
 // concurrency.
-func (h *Host) forEachActiveChipErr(ctx context.Context, byChip [][]int, fn func(chip int) error) error {
-	var active []int
-	for chip, idxs := range byChip {
-		if len(idxs) > 0 {
-			active = append(active, chip)
-		}
-	}
+func (h *Host) forEachActiveChip(ctx context.Context, fn func(chip int) error) error {
 	workers := h.Parallelism()
-	if workers <= 1 || len(active) <= 1 {
-		for _, chip := range active {
+	if workers <= 1 || len(h.active) <= 1 {
+		for _, chip := range h.active {
 			if err := fn(chip); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if workers > len(active) {
-		workers = len(active)
-	}
-	return par.MapTimedCtx(ctx, len(active), workers, func(k int) error {
-		return fn(active[k])
-	}, h.shardTimer())
+	h.sweep.fn = fn
+	defer func() { h.sweep.fn = nil }()
+	return par.MapTimedCtx(ctx, len(h.active), workers, h.activeFn, h.onShard)
 }
 
-// newFaultSlots returns the per-chip fault slots for one sweep when a
-// plane is attached, nil otherwise. Slot c is only ever written by
-// the worker that owns chip c, so the slice needs no locking.
-func (h *Host) newFaultSlots() []*ChipFault {
-	if h.plane == nil {
-		return nil
+// runActiveShard is the pre-bound pool body for active-chip sweeps.
+func (h *Host) runActiveShard(k int) error { return h.sweep.fn(h.active[k]) }
+
+// clearFaultSlots resets the per-chip fault slots before a sweep.
+// Slot c is only ever written by the worker that owns chip c, so the
+// slice needs no locking. No-op when no plane is attached (slots is
+// nil and chipFaultsError of a nil slice is nil).
+func (h *Host) clearFaultSlots() {
+	for i := range h.slots {
+		h.slots[i] = nil
 	}
-	return make([]*ChipFault, h.mod.Chips())
 }
 
 // chipFaultsError assembles the non-nil fault slots into a
@@ -331,12 +401,23 @@ func (h *Host) failPass(err error) error {
 	return err
 }
 
+// resetSweep drops the sweep-state references when a pass returns so
+// the host never retains caller slices, sources, or contexts.
+func (h *Host) resetSweep() { h.sweep = sweepState{} }
+
 // Pass writes data[i] to rows[i], waits the retention interval, reads
 // the rows back and returns every mismatched bit address. It counts
 // as one test regardless of how many rows it touches: on real
 // hardware all rows are written back-to-back and share the single
 // retention wait (this is what makes PARBOR's parallel-row testing
 // cheap, Section 4.2).
+//
+// Aliasing contract: the host only ever reads data — it is written
+// to the chips and later compared against, never mutated and never
+// retained past the pass. Several rows may therefore share one
+// backing slice (data[i] == data[j]), which is how callers avoid
+// refilling identical pattern rows every pass (see patterns.Arena
+// and the region sharing in package core).
 func (h *Host) Pass(rows []Row, data [][]uint64) ([]BitAddr, error) {
 	return h.PassWithWaitCtx(context.Background(), rows, data, h.waitMs)
 }
@@ -382,30 +463,18 @@ func (h *Host) PassWithWaitCtx(ctx context.Context, rows []Row, data [][]uint64,
 	attempt := h.attempts
 	h.attempts++
 	passStart := h.startClock()
-	byChip := h.rowsByChip(rows)
-	slots := h.newFaultSlots()
-	err := h.forEachActiveChipErr(ctx, byChip, func(chip int) error {
-		c := h.mod.Chip(chip)
-		for k, i := range byChip[chip] {
-			if k%ctxCheckStride == 0 {
-				if cerr := ctx.Err(); cerr != nil {
-					return cerr
-				}
-			}
-			if h.plane != nil {
-				if ferr := h.plane.BeforeWrite(attempt, rows[i]); ferr != nil {
-					slots[chip] = &ChipFault{Chip: chip, Op: "write", Row: rows[i], Err: ferr}
-					return nil // abort this shard; sibling chips continue
-				}
-			}
-			c.WriteRow(rows[i].Bank, rows[i].Row, data[i])
-		}
-		return nil
-	})
+	h.bucketRows(rows)
+	h.clearFaultSlots()
+	h.sweep.ctx = ctx
+	h.sweep.attempt = attempt
+	h.sweep.rows = rows
+	h.sweep.data = data
+	err := h.forEachActiveChip(ctx, h.writeRowsFn)
 	if err == nil {
-		err = chipFaultsError(slots)
+		err = chipFaultsError(h.slots)
 	}
 	if err != nil {
+		h.resetSweep()
 		return nil, h.failPass(err)
 	}
 	h.observeSince(SeriesWriteSweep, passStart)
@@ -413,7 +482,8 @@ func (h *Host) PassWithWaitCtx(ctx context.Context, rows []Row, data [][]uint64,
 	h.autoRefreshExcept(rows)
 	h.passes++
 	readStart := h.startClock()
-	fails, err := h.readAndDiff(ctx, attempt, byChip, rows, data)
+	fails, err := h.readAndDiff(ctx, attempt, rows, data)
+	h.resetSweep()
 	if err != nil {
 		return nil, h.failPass(err)
 	}
@@ -424,62 +494,117 @@ func (h *Host) PassWithWaitCtx(ctx context.Context, rows []Row, data [][]uint64,
 	return fails, nil
 }
 
+// writeRowsShard writes one chip's bucketed rows (the write half of a
+// row-list pass).
+func (h *Host) writeRowsShard(chip int) error {
+	c := h.mod.Chip(chip)
+	s := &h.sweep
+	for k, i := range h.byChip[chip] {
+		if k%ctxCheckStride == 0 {
+			if cerr := s.ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		if h.plane != nil {
+			if ferr := h.plane.BeforeWrite(s.attempt, s.rows[i]); ferr != nil {
+				h.slots[chip] = &ChipFault{Chip: chip, Op: "write", Row: s.rows[i], Err: ferr}
+				return nil // abort this shard; sibling chips continue
+			}
+		}
+		c.WriteRow(s.rows[i].Bank, s.rows[i].Row, s.data[i])
+	}
+	return nil
+}
+
 // autoRefreshExcept models the auto-refresh that keeps running for
 // every row not paused for the current test: those rows never
 // accumulate retention time across passes. The rows under test are
-// excluded — their decay is the point of the wait.
+// excluded — their decay is the point of the wait. The per-chip
+// paused sets are double-buffered host scratch (see Host.paused), so
+// the steady-state path clears and refills maps instead of
+// allocating them.
 func (h *Host) autoRefreshExcept(rows []Row) {
-	perChip := make(map[int]map[int]struct{})
+	// Build into the generation the chips are NOT currently holding.
+	next := h.paused[1-h.pausedFlip]
+	for _, m := range next {
+		if m != nil {
+			clear(m)
+		}
+	}
 	for _, r := range rows {
-		m := perChip[r.Chip]
+		m := next[r.Chip]
 		if m == nil {
 			m = make(map[int]struct{})
-			perChip[r.Chip] = m
+			next[r.Chip] = m
 		}
 		m[h.mod.Chip(r.Chip).FlatRowIndex(r.Bank, r.Row)] = struct{}{}
 	}
 	for chip := 0; chip < h.mod.Chips(); chip++ {
-		h.mod.Chip(chip).AutoRefresh(perChip[chip])
+		h.mod.Chip(chip).AutoRefresh(next[chip])
 	}
+	h.pausedFlip = 1 - h.pausedFlip
 }
 
 // readAndDiff reads every listed row back and diffs it against
 // want[i], sharding per chip. Results are merged in ascending
-// row-list index, exactly the order a serial sweep produces.
-func (h *Host) readAndDiff(ctx context.Context, attempt int, byChip [][]int, rows []Row, want [][]uint64) ([]BitAddr, error) {
-	perIndex := make([][]BitAddr, len(rows))
-	slots := h.newFaultSlots()
-	err := h.forEachActiveChipErr(ctx, byChip, func(chip int) error {
-		c := h.mod.Chip(chip)
-		scratch := h.chipScratch[chip]
-		for k, i := range byChip[chip] {
-			if k%ctxCheckStride == 0 {
-				if cerr := ctx.Err(); cerr != nil {
-					return cerr
-				}
-			}
-			if h.plane != nil {
-				if ferr := h.plane.BeforeRead(attempt, rows[i]); ferr != nil {
-					slots[chip] = &ChipFault{Chip: chip, Op: "read", Row: rows[i], Err: ferr}
-					return nil
-				}
-			}
-			c.ReadRow(rows[i].Bank, rows[i].Row, scratch)
-			perIndex[i] = appendMismatches(nil, rows[i], want[i], scratch)
-		}
-		return nil
-	})
+// row-list index, exactly the order a serial sweep produces; the
+// merged slice is sized once from the per-index counts.
+func (h *Host) readAndDiff(ctx context.Context, attempt int, rows []Row, want [][]uint64) ([]BitAddr, error) {
+	if cap(h.perIndex) < len(rows) {
+		h.perIndex = make([][]BitAddr, len(rows))
+	}
+	h.perIndex = h.perIndex[:len(rows)]
+	h.clearFaultSlots()
+	h.sweep.ctx = ctx
+	h.sweep.attempt = attempt
+	h.sweep.rows = rows
+	h.sweep.data = want
+	err := h.forEachActiveChip(ctx, h.readRowsFn)
 	if err == nil {
-		err = chipFaultsError(slots)
+		err = chipFaultsError(h.slots)
 	}
 	if err != nil {
 		return nil, err
 	}
-	var fails []BitAddr
-	for _, f := range perIndex {
+	total := 0
+	for _, f := range h.perIndex {
+		total += len(f)
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	fails := make([]BitAddr, 0, total)
+	for _, f := range h.perIndex {
 		fails = append(fails, f...)
 	}
 	return fails, nil
+}
+
+// readRowsShard reads one chip's bucketed rows back and diffs them
+// (the compare half of a row-list pass). Each row's mismatches land
+// in perIndex[i]; the entries reuse their capacity from the previous
+// pass, which is safe because readAndDiff copies them into the
+// merged result before the next pass can touch them.
+func (h *Host) readRowsShard(chip int) error {
+	c := h.mod.Chip(chip)
+	s := &h.sweep
+	scratch := h.chipScratch[chip]
+	for k, i := range h.byChip[chip] {
+		if k%ctxCheckStride == 0 {
+			if cerr := s.ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		if h.plane != nil {
+			if ferr := h.plane.BeforeRead(s.attempt, s.rows[i]); ferr != nil {
+				h.slots[chip] = &ChipFault{Chip: chip, Op: "read", Row: s.rows[i], Err: ferr}
+				return nil
+			}
+		}
+		c.ReadRow(s.rows[i].Bank, s.rows[i].Row, scratch)
+		h.perIndex[i] = appendMismatches(h.perIndex[i][:0], s.rows[i], s.data[i], scratch)
+	}
+	return nil
 }
 
 // ReadRowInto reads a row's current contents into dst without any
@@ -515,7 +640,8 @@ func (h *Host) ReadRowIntoCtx(ctx context.Context, r Row, dst []uint64) error {
 // without writing first. Test sequences whose semantics separate
 // writes from delayed reads (March elements, package march) need
 // this; Pass would re-charge the cells and mask retention failures.
-// It counts as one test.
+// It counts as one test. The expected buffers follow the same
+// aliasing contract as Pass data: read-only, sharable.
 func (h *Host) Verify(rows []Row, expected [][]uint64, waitMs float64) ([]BitAddr, error) {
 	return h.VerifyCtx(context.Background(), rows, expected, waitMs)
 }
@@ -543,7 +669,9 @@ func (h *Host) VerifyCtx(ctx context.Context, rows []Row, expected [][]uint64, w
 	}
 	h.passes++
 	readStart := h.startClock()
-	fails, err := h.readAndDiff(ctx, attempt, h.rowsByChip(rows), rows, expected)
+	h.bucketRows(rows)
+	fails, err := h.readAndDiff(ctx, attempt, rows, expected)
+	h.resetSweep()
 	if err != nil {
 		return nil, h.failPass(err)
 	}
@@ -562,6 +690,10 @@ func (h *Host) VerifyCtx(ctx context.Context, rows []Row, expected [][]uint64, w
 // gen may be called concurrently from the per-chip workers (always
 // with distinct buf slices), so it must not mutate shared state; the
 // fills in package patterns satisfy this by construction.
+//
+// Callers whose pattern rows are identical across rows should prefer
+// FullPassRows with a memoized source (patterns.Arena): it skips the
+// per-row regeneration entirely.
 func (h *Host) FullPass(gen func(r Row, buf []uint64)) []BitAddr {
 	return h.FullPassWithWait(gen, h.waitMs)
 }
@@ -596,43 +728,63 @@ func (h *Host) FullPassWithWait(gen func(r Row, buf []uint64), waitMs float64) [
 // FullPassWithWaitCtx is FullPassWithWait with cooperative
 // cancellation and fault-plane semantics (see PassWithWaitCtx).
 func (h *Host) FullPassWithWaitCtx(ctx context.Context, gen func(r Row, buf []uint64), waitMs float64) ([]BitAddr, error) {
+	h.sweep.gen = gen
+	return h.fullPassRows(ctx, h.genFn, waitMs)
+}
+
+// genRowSource adapts the legacy gen callback to a RowSource: the
+// pattern is generated into the owning chip's pattern buffer, which
+// is safe because each chip's rows are visited by a single worker.
+func (h *Host) genRowSource(r Row) []uint64 {
+	buf := h.chipPattern[r.Chip]
+	h.sweep.gen(r, buf)
+	return buf
+}
+
+// FullPassRows writes src(r) to every row of every chip, waits, reads
+// everything back, and returns the mismatched bit addresses, sorted
+// by (chip, bank, row, col). It counts as one test.
+//
+// Unlike FullPass, the host aliases the slices src returns instead of
+// filling a buffer per row, so a source backed by memoized pattern
+// rows (patterns.Arena) makes the full-module sweep free of per-row
+// pattern generation. See RowSource for the aliasing contract.
+func (h *Host) FullPassRows(src RowSource) ([]BitAddr, error) {
+	return h.FullPassRowsWithWaitCtx(context.Background(), src, h.waitMs)
+}
+
+// FullPassRowsCtx is FullPassRows with cooperative cancellation and
+// fault-plane semantics (see PassWithWaitCtx).
+func (h *Host) FullPassRowsCtx(ctx context.Context, src RowSource) ([]BitAddr, error) {
+	return h.FullPassRowsWithWaitCtx(ctx, src, h.waitMs)
+}
+
+// FullPassRowsWithWaitCtx is FullPassRows with an explicit retention
+// wait, cooperative cancellation and fault-plane semantics.
+func (h *Host) FullPassRowsWithWaitCtx(ctx context.Context, src RowSource, waitMs float64) ([]BitAddr, error) {
+	return h.fullPassRows(ctx, src, waitMs)
+}
+
+// fullPassRows is the shared full-module sweep implementation.
+func (h *Host) fullPassRows(ctx context.Context, src RowSource, waitMs float64) ([]BitAddr, error) {
 	if waitMs < 0 {
+		h.resetSweep()
 		return nil, fmt.Errorf("memctl: negative wait %v", waitMs)
 	}
 	g := h.mod.Geometry()
 	attempt := h.attempts
 	h.attempts++
 	passStart := h.startClock()
-	slots := h.newFaultSlots()
-	err := h.forEachChipErr(ctx, func(chip int) error {
-		c := h.mod.Chip(chip)
-		buf := h.chipPattern[chip]
-		n := 0
-		for bank := 0; bank < g.Banks; bank++ {
-			for row := 0; row < g.Rows; row++ {
-				if n%ctxCheckStride == 0 {
-					if cerr := ctx.Err(); cerr != nil {
-						return cerr
-					}
-				}
-				n++
-				r := Row{Chip: chip, Bank: bank, Row: row}
-				if h.plane != nil {
-					if ferr := h.plane.BeforeWrite(attempt, r); ferr != nil {
-						slots[chip] = &ChipFault{Chip: chip, Op: "write", Row: r, Err: ferr}
-						return nil
-					}
-				}
-				gen(r, buf)
-				c.WriteRow(bank, row, buf)
-			}
-		}
-		return nil
-	})
+	h.clearFaultSlots()
+	h.sweep.ctx = ctx
+	h.sweep.attempt = attempt
+	h.sweep.src = src
+	err := h.forEachChip(ctx, h.writeFullFn)
 	if err == nil {
-		err = chipFaultsError(slots)
+		err = chipFaultsError(h.slots)
 	}
 	if err != nil {
+		h.resetSweep()
 		return nil, h.failPass(err)
 	}
 	h.observeSince(SeriesWriteSweep, passStart)
@@ -640,51 +792,98 @@ func (h *Host) FullPassWithWaitCtx(ctx context.Context, gen func(r Row, buf []ui
 	h.passes++
 
 	readStart := h.startClock()
-	perChip := make([][]BitAddr, h.mod.Chips())
-	slots = h.newFaultSlots()
-	err = h.forEachChipErr(ctx, func(chip int) error {
-		c := h.mod.Chip(chip)
-		buf, scratch := h.chipPattern[chip], h.chipScratch[chip]
-		var fails []BitAddr
-		n := 0
-		for bank := 0; bank < g.Banks; bank++ {
-			for row := 0; row < g.Rows; row++ {
-				if n%ctxCheckStride == 0 {
-					if cerr := ctx.Err(); cerr != nil {
-						return cerr
-					}
-				}
-				n++
-				r := Row{Chip: chip, Bank: bank, Row: row}
-				if h.plane != nil {
-					if ferr := h.plane.BeforeRead(attempt, r); ferr != nil {
-						slots[chip] = &ChipFault{Chip: chip, Op: "read", Row: r, Err: ferr}
-						return nil
-					}
-				}
-				gen(r, buf)
-				c.ReadRow(bank, row, scratch)
-				fails = appendMismatches(fails, r, buf, scratch)
-			}
-		}
-		perChip[chip] = fails
-		return nil
-	})
+	h.clearFaultSlots()
+	err = h.forEachChip(ctx, h.readFullFn)
 	if err == nil {
-		err = chipFaultsError(slots)
+		err = chipFaultsError(h.slots)
 	}
+	h.resetSweep()
 	if err != nil {
 		return nil, h.failPass(err)
 	}
+	total := 0
+	for _, f := range h.perChip {
+		total += len(f)
+	}
 	var fails []BitAddr
-	for _, f := range perChip {
-		fails = append(fails, f...)
+	if total > 0 {
+		fails = make([]BitAddr, 0, total)
+		for _, f := range h.perChip {
+			fails = append(fails, f...)
+		}
 	}
 	h.observeSince(SeriesReadSweep, readStart)
 	h.observeSince(SeriesPass, passStart)
 	h.add(CounterPasses, 1)
 	h.add(CounterRowsTested, uint64(h.mod.Chips()*g.RowCount()))
 	return fails, nil
+}
+
+// writeFullShard writes the source pattern to every row of one chip.
+func (h *Host) writeFullShard(chip int) error {
+	c := h.mod.Chip(chip)
+	g := h.mod.Geometry()
+	words := g.Words()
+	s := &h.sweep
+	n := 0
+	for bank := 0; bank < g.Banks; bank++ {
+		for row := 0; row < g.Rows; row++ {
+			if n%ctxCheckStride == 0 {
+				if cerr := s.ctx.Err(); cerr != nil {
+					return cerr
+				}
+			}
+			n++
+			r := Row{Chip: chip, Bank: bank, Row: row}
+			if h.plane != nil {
+				if ferr := h.plane.BeforeWrite(s.attempt, r); ferr != nil {
+					h.slots[chip] = &ChipFault{Chip: chip, Op: "write", Row: r, Err: ferr}
+					return nil
+				}
+			}
+			data := s.src(r)
+			if len(data) != words {
+				return fmt.Errorf("memctl: row source returned %d words for chip %d, want %d", len(data), chip, words)
+			}
+			c.WriteRow(bank, row, data)
+		}
+	}
+	return nil
+}
+
+// readFullShard reads every row of one chip back and diffs it against
+// the source pattern. The per-chip failure buffer reuses its capacity
+// from the previous pass; fullPassRows copies it into the merged
+// result before returning.
+func (h *Host) readFullShard(chip int) error {
+	c := h.mod.Chip(chip)
+	g := h.mod.Geometry()
+	s := &h.sweep
+	scratch := h.chipScratch[chip]
+	fails := h.perChip[chip][:0]
+	n := 0
+	for bank := 0; bank < g.Banks; bank++ {
+		for row := 0; row < g.Rows; row++ {
+			if n%ctxCheckStride == 0 {
+				if cerr := s.ctx.Err(); cerr != nil {
+					return cerr
+				}
+			}
+			n++
+			r := Row{Chip: chip, Bank: bank, Row: row}
+			if h.plane != nil {
+				if ferr := h.plane.BeforeRead(s.attempt, r); ferr != nil {
+					h.slots[chip] = &ChipFault{Chip: chip, Op: "read", Row: r, Err: ferr}
+					return nil
+				}
+			}
+			want := s.src(r)
+			c.ReadRow(bank, row, scratch)
+			fails = appendMismatches(fails, r, want, scratch)
+		}
+	}
+	h.perChip[chip] = fails
+	return nil
 }
 
 // appendMismatches diffs the read-back buffer got against want and

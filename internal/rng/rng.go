@@ -50,19 +50,44 @@ func (s *Source) Uint64() uint64 {
 // streams that are independent for all practical purposes, and the
 // parent stream is not perturbed.
 func (s *Source) Split(label string) *Source {
-	h := s.state + 0x9e3779b97f4a7c15
-	for _, b := range []byte(label) {
-		h = mix64(h ^ uint64(b))
-	}
-	return &Source{state: mix64(h)}
+	c := s.Child(label)
+	return &c
 }
 
 // SplitN derives an independent child stream labeled by an integer,
 // e.g. one stream per row or per cell array.
 func (s *Source) SplitN(label string, n uint64) *Source {
-	c := s.Split(label)
-	c.state = mix64(c.state ^ n)
-	return c
+	c := s.ChildN(label, n)
+	return &c
+}
+
+// Seeded returns a Source value seeded with seed. It is the value
+// counterpart of New, for hot paths that must not heap-allocate.
+func Seeded(seed uint64) Source { return Source{state: seed} }
+
+// Child is Split returning the child stream by value: the stream is
+// bit-identical to Split(label)'s, but a local child never escapes to
+// the heap. Hot paths (per-row and per-cell draws in the DRAM model)
+// use it to stay allocation-free.
+func (s *Source) Child(label string) Source {
+	h := s.state + 0x9e3779b97f4a7c15
+	for i := 0; i < len(label); i++ {
+		h = mix64(h ^ uint64(label[i]))
+	}
+	return Source{state: mix64(h)}
+}
+
+// ChildN is SplitN returning the child stream by value (see Child).
+func (s *Source) ChildN(label string, n uint64) Source {
+	return s.Child(label).At(n)
+}
+
+// At derives the integer-labeled child of s by value: Child(l).At(n)
+// yields exactly the stream of SplitN(l, n). Callers that draw many
+// integer-labeled streams off one label (one per row, one per pass)
+// cache the Child once and call At per draw, skipping the label hash.
+func (s Source) At(n uint64) Source {
+	return Source{state: mix64(s.state ^ n)}
 }
 
 // Intn returns a uniformly distributed int in [0, n). It panics if

@@ -164,3 +164,39 @@ func TestZeroValueUsable(t *testing.T) {
 	var s Source
 	_ = s.Uint64() // must not panic
 }
+
+// TestValueVariantsMatchPointerVariants pins the contract the DRAM
+// hot paths rely on: Seeded/Child/ChildN/At produce bit-identical
+// streams to New/Split/SplitN, so switching a call site to the
+// value-based (allocation-free) API never changes a single draw.
+func TestValueVariantsMatchPointerVariants(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		a := New(seed)
+		b := Seeded(seed)
+		if a.state != b.state {
+			t.Fatalf("Seeded(%d) state %#x, New %#x", seed, b.state, a.state)
+		}
+		for _, label := range []string{"", "vrt-toggle", "soft", "row"} {
+			pc := New(seed).Split(label)
+			vc := Seeded(seed)
+			vcc := vc.Child(label)
+			if pc.state != vcc.state {
+				t.Fatalf("Child(%q) state %#x, Split %#x", label, vcc.state, pc.state)
+			}
+			for _, n := range []uint64{0, 1, 7, 1 << 40} {
+				pn := New(seed).SplitN(label, n)
+				vn := vcc.At(n)
+				if pn.state != vn.state {
+					t.Fatalf("Child(%q).At(%d) state %#x, SplitN %#x", label, n, vn.state, pn.state)
+				}
+				vr := vc.ChildN(label, n)
+				if vr.state != pn.state {
+					t.Fatalf("ChildN(%q, %d) state %#x, SplitN %#x", label, n, vr.state, pn.state)
+				}
+				if pn.Uint64() != vn.Uint64() {
+					t.Fatalf("draw mismatch for (%q, %d)", label, n)
+				}
+			}
+		}
+	}
+}

@@ -136,6 +136,12 @@ type Row = memctl.Row
 // BitAddr identifies one cell by system address.
 type BitAddr = memctl.BitAddr
 
+// RowSource supplies one row's pattern data for a full-module pass
+// (Host.FullPassRows). The host aliases the returned slice — sources
+// backed by memoized pattern rows (see NewPatternArena) make the
+// sweep free of per-row pattern generation.
+type RowSource = memctl.RowSource
+
 // NewHost wraps a module in a test host. waitMs is the retention
 // wait per test pass; 0 selects the paper's 4 s experimental
 // interval. Per-chip work is sharded across GOMAXPROCS workers; use
@@ -274,6 +280,15 @@ type ClassifiedVictim = core.ClassifiedVictim
 
 // Pattern is a row data pattern.
 type Pattern = patterns.Pattern
+
+// PatternArena memoizes materialized rows of uniform patterns so
+// full-module passes can alias one immutable row per pattern through
+// Host.FullPassRows instead of regenerating every row (DESIGN.md §9).
+type PatternArena = patterns.Arena
+
+// NewPatternArena builds an arena producing rows of the given word
+// count (Geometry().Words()).
+func NewPatternArena(words int) *PatternArena { return patterns.NewArena(words) }
 
 // NeighborAwarePatterns builds the worst-case stress patterns for a
 // detected distance set and scrambling chunk size (Section 5.2.5).
