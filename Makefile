@@ -1,0 +1,26 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); keep them in sync.
+
+GO ?= go
+
+.PHONY: build test vet lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# vet builds the repository's analysis suite (cmd/parborvet) and runs
+# it over the whole tree through the go vet vettool protocol. DESIGN.md
+# section 10 documents the analyzers and the //parbor:hotpath /
+# //parbor:wallclock annotation contract.
+vet:
+	$(GO) build -o parborvet ./cmd/parborvet
+	$(GO) vet -vettool=$(CURDIR)/parborvet ./...
+
+# lint adds the pinned external checkers on top of vet. These download
+# on first use, so unlike vet they need network access.
+lint: vet
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@v1.1.4 ./...

@@ -1,0 +1,38 @@
+// Command parborvet is the repository's analysis suite: five
+// golang.org/x/tools/go/analysis passes that mechanically enforce the
+// invariants every published figure rests on — seed-determinism of
+// the simulation packages, per-shard rng stream derivation, context
+// threading through row/chip loops, nil-safe observability, and the
+// zero-allocation pass hot loop.
+//
+// It speaks the go vet unitchecker protocol, so it is run through the
+// build system rather than standalone:
+//
+//	go build -o parborvet ./cmd/parborvet
+//	go vet -vettool=$PWD/parborvet ./...
+//
+// or simply `make vet`. Individual analyzers can be selected the
+// usual way: `go vet -vettool=$PWD/parborvet -simdeterminism ./...`.
+// DESIGN.md section 10 documents each analyzer and the
+// //parbor:hotpath / //parbor:wallclock annotation contract.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"parbor/internal/analyzers/ctxthread"
+	"parbor/internal/analyzers/hotalloc"
+	"parbor/internal/analyzers/obsnilsafe"
+	"parbor/internal/analyzers/rngstream"
+	"parbor/internal/analyzers/simdeterminism"
+)
+
+func main() {
+	unitchecker.Main(
+		simdeterminism.Analyzer,
+		rngstream.Analyzer,
+		ctxthread.Analyzer,
+		obsnilsafe.Analyzer,
+		hotalloc.Analyzer,
+	)
+}

@@ -1,0 +1,75 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"parbor/internal/analyzers/atest"
+)
+
+// analyzers lists every analyzer the multichecker registers; the
+// knownbad fixture is built so each fires exactly once.
+var analyzers = []string{
+	"simdeterminism",
+	"rngstream",
+	"ctxthread",
+	"obsnilsafe",
+	"hotalloc",
+}
+
+// TestKnownBadFiresEachAnalyzerOnce runs the full vet pipeline over
+// the knownbad fixture module and asserts each registered analyzer
+// produces exactly one diagnostic — proving every analyzer is wired
+// into the binary and scoped onto the fixture's packages.
+func TestKnownBadFiresEachAnalyzerOnce(t *testing.T) {
+	diags := atest.Vet(t, "testdata/knownbad")
+	counts := make(map[string]int)
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	for _, name := range analyzers {
+		if counts[name] != 1 {
+			t.Errorf("analyzer %s fired %d times, want exactly 1", name, counts[name])
+		}
+	}
+	for name, n := range counts {
+		known := false
+		for _, want := range analyzers {
+			if name == want {
+				known = true
+			}
+		}
+		if !known {
+			t.Errorf("unregistered analyzer %s fired %d times", name, n)
+		}
+	}
+	if len(diags) != len(analyzers) {
+		for _, d := range diags {
+			t.Logf("diagnostic: %s:%d: %s: %s", d.File, d.Line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestKnownBadFailsPlainVet asserts the exact invocation CI and
+// `make vet` use exits nonzero on the fixture, so a diagnostic
+// anywhere actually gates the build. Plain vet output carries the
+// message but not the analyzer name, so each analyzer is recognized
+// by a distinctive fragment of its diagnostic.
+func TestKnownBadFailsPlainVet(t *testing.T) {
+	failed, out := atest.VetFails(t, "testdata/knownbad")
+	if !failed {
+		t.Fatalf("go vet -vettool=parborvet exited zero on the knownbad fixture\noutput:\n%s", out)
+	}
+	fragments := map[string]string{
+		"simdeterminism": "breaks seed-determinism",
+		"rngstream":      "rng.Split allocates its child stream",
+		"ctxthread":      "holds a context but calls",
+		"obsnilsafe":     "nil-receiver guard",
+		"hotalloc":       "fmt.Sprintf in //parbor:hotpath",
+	}
+	for name, fragment := range fragments {
+		if !strings.Contains(out, fragment) {
+			t.Errorf("plain vet output carries no %s diagnostic (looked for %q)\noutput:\n%s", name, fragment, out)
+		}
+	}
+}

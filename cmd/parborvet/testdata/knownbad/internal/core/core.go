@@ -1,0 +1,12 @@
+// Package core trips hotalloc exactly once: a formatting allocation
+// inside a //parbor:hotpath function.
+package core
+
+import "fmt"
+
+// Label formats on the hot path.
+//
+//parbor:hotpath
+func Label(row int) string {
+	return fmt.Sprintf("row-%d", row)
+}

@@ -1,0 +1,10 @@
+// Package dram trips simdeterminism exactly once: a wall-clock read
+// in a simulation package.
+package dram
+
+import "time"
+
+// Seeded stamps results with the wall clock.
+func Seeded() int64 {
+	return time.Now().UnixNano()
+}

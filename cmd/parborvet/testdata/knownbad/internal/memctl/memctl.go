@@ -1,0 +1,36 @@
+// Package memctl trips ctxthread exactly once: a context-holding
+// entry point that drives rows through the non-Ctx shim.
+package memctl
+
+import "context"
+
+// Host drives rows.
+type Host struct{ rows int }
+
+// PassCtx runs one pass, checking for cancellation per row.
+func (h *Host) PassCtx(ctx context.Context) error {
+	for r := 0; r < h.rows; r++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pass is the compat shim.
+func (h *Host) Pass() error {
+	return h.PassCtx(context.Background())
+}
+
+// Sweep holds a context but calls the non-Ctx Pass.
+func Sweep(ctx context.Context, h *Host, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := h.Pass(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

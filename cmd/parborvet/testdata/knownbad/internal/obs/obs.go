@@ -1,0 +1,17 @@
+// Package obs trips obsnilsafe exactly once: an exported
+// pointer-receiver method on a Recorder implementor with no
+// nil-receiver guard.
+package obs
+
+// Recorder receives observability events.
+type Recorder interface {
+	Add(name string, n uint64)
+}
+
+// Sink implements Recorder without guarding its receiver.
+type Sink struct{ n uint64 }
+
+// Add implements Recorder.
+func (s *Sink) Add(name string, n uint64) {
+	s.n += n
+}

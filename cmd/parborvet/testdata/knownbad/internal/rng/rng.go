@@ -1,0 +1,18 @@
+// Package rng mirrors just enough of parbor/internal/rng for the
+// rngstream type checks; it is itself clean.
+package rng
+
+// Source is a deterministic stream.
+type Source struct{ state uint64 }
+
+// Uint64 draws the next value.
+func (s *Source) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}
+
+// Split allocates an independent child stream.
+func (s *Source) Split() *Source { return &Source{state: s.Uint64()} }
+
+// Child derives the i-th child stream without mutating the parent.
+func (s Source) Child(i uint64) Source { return Source{state: s.state ^ (i*2654435761 + 1)} }

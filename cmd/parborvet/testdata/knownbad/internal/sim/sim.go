@@ -1,0 +1,13 @@
+// Package sim trips rngstream exactly once: the allocating Split
+// derivation inside a //parbor:hotpath function.
+package sim
+
+import "knownbad/internal/rng"
+
+// Shard derives with Split on the hot path.
+//
+//parbor:hotpath
+func Shard(src *rng.Source) uint64 {
+	child := src.Split()
+	return child.Uint64()
+}

@@ -1,0 +1,303 @@
+// Package atest runs parborvet end-to-end over self-contained fixture
+// modules and checks the diagnostics against // want comments. It is a
+// minimal stand-in for golang.org/x/tools/go/analysis/analysistest,
+// which the vendored offline subset of x/tools does not include — and
+// unlike analysistest it exercises the real vet pipeline
+// (`go vet -json -vettool=parborvet`), so the unitchecker protocol and
+// analyzer registration are under test too, not just the Run funcs.
+//
+// Fixtures live in testdata directories (which the go tool ignores) as
+// complete modules with their own go.mod, mirroring the repository's
+// internal/<pkg> layout so the analyzers' path-tail scoping applies to
+// them exactly as it does to the real tree.
+//
+// Expectation syntax, anchored to the line the comment sits on:
+//
+//	t := time.Now() // want simdeterminism `breaks seed-determinism`
+//
+// Each want names the analyzer and a regexp (backquoted, or quoted
+// with the usual escapes) that the diagnostic message must match.
+// Every diagnostic must be claimed by a want and every want must be
+// hit by a diagnostic, so files and lines without wants assert
+// analyzer silence — the non-firing half of each case.
+package atest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Diag is one parborvet diagnostic, resolved to file and line.
+type Diag struct {
+	File     string
+	Line     int
+	Analyzer string
+	Message  string
+}
+
+var (
+	binOnce sync.Once
+	binPath string
+	binErr  error
+)
+
+// Binary builds cmd/parborvet once per test binary and returns the
+// path of the executable.
+func Binary(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			binErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "parborvet-atest-")
+		if err != nil {
+			binErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "parborvet")
+		cmd := exec.Command("go", "build", "-o", binPath, "./cmd/parborvet")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			binErr = fmt.Errorf("building parborvet: %v\n%s", err, out)
+		}
+	})
+	if binErr != nil {
+		t.Fatal(binErr)
+	}
+	return binPath
+}
+
+// moduleRoot finds the enclosing module's directory, so Binary works
+// no matter which test package's directory is the current one.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("atest: not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// fixtureEnv returns the environment for go commands run inside a
+// fixture module. The fixtures are dependency-free, so any vendor-mode
+// GOFLAGS inherited from the parent module must not leak in, and
+// go.work files are ignored.
+func fixtureEnv() []string {
+	return append(os.Environ(), "GOFLAGS=", "GOWORK=off")
+}
+
+// Vet runs `go vet -json -vettool=parborvet ./...` over the fixture
+// module at dir and returns the parsed diagnostics. JSON mode exits
+// zero even with findings, so callers judge by the diagnostics, not
+// the exit code (VetFails checks the plain-mode exit).
+func Vet(t *testing.T, dir string) []Diag {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-json", "-vettool="+Binary(t), "./...")
+	cmd.Dir = abs
+	cmd.Env = fixtureEnv()
+	// go vet -json writes everything — `# pkg` progress lines and the
+	// JSON stream — to stderr.
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet -json in %s: %v\n%s", dir, err, out)
+	}
+	diags, err := parseJSON(out)
+	if err != nil {
+		t.Fatalf("parsing go vet -json output: %v\noutput:\n%s", err, out)
+	}
+	return diags
+}
+
+// VetFails runs plain `go vet -vettool=parborvet ./...` (no -json) —
+// the exact invocation CI and `make vet` use — over the module at dir
+// and reports whether vet exited nonzero, with its combined output.
+func VetFails(t *testing.T, dir string) (bool, string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+Binary(t), "./...")
+	cmd.Dir = abs
+	cmd.Env = fixtureEnv()
+	out, err := cmd.CombinedOutput()
+	return err != nil, string(out)
+}
+
+// parseJSON decodes the -json output stream: `# pkg` progress lines
+// interleaved with concatenated JSON objects, each mapping package
+// path -> analyzer name -> diagnostics.
+func parseJSON(raw []byte) ([]Diag, error) {
+	var kept [][]byte
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("#")) {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	dec := json.NewDecoder(bytes.NewReader(bytes.Join(kept, []byte("\n"))))
+	var diags []Diag
+	for {
+		var unit map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		err := dec.Decode(&unit)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, byAnalyzer := range unit {
+			for analyzer, list := range byAnalyzer {
+				for _, d := range list {
+					file, line, err := splitPosn(d.Posn)
+					if err != nil {
+						return nil, err
+					}
+					diags = append(diags, Diag{File: file, Line: line, Analyzer: analyzer, Message: d.Message})
+				}
+			}
+		}
+	}
+	return diags, nil
+}
+
+// splitPosn splits a "file:line:col" position.
+func splitPosn(posn string) (string, int, error) {
+	rest := posn
+	if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+		rest = rest[:i] // drop the column
+	}
+	i := strings.LastIndexByte(rest, ':')
+	if i < 0 {
+		return "", 0, fmt.Errorf("malformed position %q", posn)
+	}
+	line, err := strconv.Atoi(rest[i+1:])
+	if err != nil {
+		return "", 0, fmt.Errorf("malformed position %q: %v", posn, err)
+	}
+	return filepath.Clean(rest[:i]), line, nil
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+	raw      string
+	hit      bool
+}
+
+// wantRe matches `want <analyzer> <regexp>` with the pattern either
+// backquoted or double-quoted.
+var wantRe = regexp.MustCompile("want ([a-zA-Z0-9_]+) (`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// parseWants scans every .go file under dir for want comments.
+func parseWants(dir string) ([]*want, error) {
+	var wants []*want
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				pattern := m[2]
+				if pattern[0] == '`' {
+					pattern = pattern[1 : len(pattern)-1]
+				} else {
+					pattern, err = strconv.Unquote(pattern)
+					if err != nil {
+						return fmt.Errorf("%s:%d: bad want pattern %s: %v", path, i+1, m[2], err)
+					}
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %s: %v", path, i+1, m[2], err)
+				}
+				wants = append(wants, &want{
+					file:     filepath.Clean(path),
+					line:     i + 1,
+					analyzer: m[1],
+					re:       re,
+					raw:      m[0],
+				})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}
+
+// claim marks the first unhit want matching d and reports success.
+func claim(wants []*want, d Diag) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.File && w.line == d.Line &&
+			w.analyzer == d.Analyzer && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// Run vets the fixture module at dir and matches the diagnostics
+// against the fixture's want comments: every diagnostic must be
+// claimed by a want on its exact file and line, and every want must
+// be hit by a diagnostic.
+func Run(t *testing.T, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := parseWants(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Vet(t, abs)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic %s:%d: %s: %s", rel(abs, d.File), d.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("no diagnostic matched want at %s:%d: %s", rel(abs, w.file), w.line, w.raw)
+		}
+	}
+}
+
+// rel shortens file for error messages.
+func rel(base, file string) string {
+	if r, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return file
+}

@@ -1,0 +1,243 @@
+// Package ctxthread defines an analyzer enforcing the repository's
+// context-threading contract in the library packages that drive
+// row/chip loops (scope.CtxThreaded: memctl, exp, onlinetest):
+//
+//   - context.Background()/context.TODO() may appear in library code
+//     only inside the documented compat-shim idiom — passed directly
+//     to a callee whose name ends in "Ctx" from a function that has
+//     no context parameter of its own (e.g. Pass delegating to
+//     PassWithWaitCtx). Any other use either hides a cancellation
+//     gap or shadows a context the function already has.
+//
+//   - An exported function that takes a context.Context must
+//     actually use it (pass it on, or check Done/Err).
+//
+//   - An exported function without a context parameter must not loop
+//     over hardware-driving pass methods: long row/chip loops are
+//     exactly the work SIGINT and -timeout need to be able to stop.
+package ctxthread
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"parbor/internal/analyzers/scope"
+)
+
+// Analyzer is the ctxthread pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxthread",
+	Doc:      "require context threading through library entry points that loop over rows/chips",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// passMethods are the hardware-driving entry points whose callers
+// must be cancellable. The non-Ctx name maps to its Ctx sibling so
+// diagnostics can name the fix.
+var passMethods = map[string]string{
+	"Pass":                    "PassCtx",
+	"PassWithWait":            "PassWithWaitCtx",
+	"Verify":                  "VerifyCtx",
+	"FullPass":                "FullPassCtx",
+	"FullPassWithWait":        "FullPassWithWaitCtx",
+	"FullPassRows":            "FullPassRowsCtx",
+	"RunEpoch":                "RunEpochCtx",
+	"ReadRowInto":             "ReadRowIntoCtx",
+	"PassCtx":                 "",
+	"PassWithWaitCtx":         "",
+	"VerifyCtx":               "",
+	"FullPassCtx":             "",
+	"FullPassWithWaitCtx":     "",
+	"FullPassRowsCtx":         "",
+	"FullPassRowsWithWaitCtx": "",
+	"RunEpochCtx":             "",
+	"ReadRowIntoCtx":          "",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope.CtxThreaded[scope.InternalPkg(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || scope.InTestFile(pass, decl.Pos()) {
+			return
+		}
+		ctxParam := contextParam(pass, decl)
+		checkBackground(pass, decl, ctxParam)
+		if decl.Name.IsExported() {
+			if ctxParam != nil {
+				checkCtxUsed(pass, decl, ctxParam)
+				checkCtxVariantUsed(pass, decl)
+			} else {
+				checkLoopNeedsCtx(pass, decl)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// contextParam returns the first parameter of type context.Context,
+// or nil.
+func contextParam(pass *analysis.Pass, decl *ast.FuncDecl) *types.Var {
+	if decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range decl.Type.Params.List {
+		if !isContext(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj, ok := pass.TypesInfo.ObjectOf(name).(*types.Var); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkBackground flags context.Background()/TODO() everywhere except
+// the compat-shim idiom.
+func checkBackground(pass *analysis.Pass, decl *ast.FuncDecl, ctxParam *types.Var) {
+	// A Background call is shim-shaped only when it is a *direct*
+	// argument of a call to a ...Ctx sibling.
+	shim := make(map[*ast.CallExpr]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !strings.HasSuffix(calleeName(pass, call), "Ctx") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if inner, ok := arg.(*ast.CallExpr); ok {
+				shim[inner] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := typeutil.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" || (fn.Name() != "Background" && fn.Name() != "TODO") {
+			return true
+		}
+		switch {
+		case ctxParam != nil:
+			pass.Reportf(call.Pos(), "context.%s ignores the function's %s parameter; thread it instead", fn.Name(), ctxParam.Name())
+		case !shim[call]:
+			pass.Reportf(call.Pos(), "context.%s in library code outside the shim idiom (passing it directly to a ...Ctx sibling); accept a context.Context instead", fn.Name())
+		}
+		return true
+	})
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := typeutil.StaticCallee(pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// checkCtxUsed flags an exported function whose context parameter is
+// never referenced.
+func checkCtxUsed(pass *analysis.Pass, decl *ast.FuncDecl, ctxParam *types.Var) {
+	used := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == ctxParam {
+			used = true
+		}
+		return !used
+	})
+	if !used {
+		pass.Reportf(decl.Name.Pos(), "%s accepts a context.Context but never uses it; pass it on or check ctx.Err()", decl.Name.Name)
+	}
+}
+
+// checkCtxVariantUsed flags calls to a non-Ctx pass method from a
+// function that holds a context and could call the Ctx sibling.
+func checkCtxVariantUsed(pass *analysis.Pass, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(pass, call)
+		ctxSibling, known := passMethods[name]
+		if !known || ctxSibling == "" || !isPassReceiver(pass, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s holds a context but calls %s; call %s so the loop stays cancellable", decl.Name.Name, name, ctxSibling)
+		return true
+	})
+}
+
+// checkLoopNeedsCtx flags an exported ctx-less function whose loops
+// call hardware-driving pass methods.
+func checkLoopNeedsCtx(pass *analysis.Pass, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		reported := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if reported {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(pass, call)
+			if _, known := passMethods[name]; !known || !isPassReceiver(pass, call) {
+				return true
+			}
+			pass.Reportf(decl.Name.Pos(), "exported %s loops over %s without accepting a context.Context; row/chip loops must be cancellable", decl.Name.Name, name)
+			reported = true
+			return false
+		})
+		return !reported
+	})
+}
+
+// isPassReceiver reports whether the call's receiver (or the function
+// itself, for package-level callees) belongs to an internal package —
+// distinguishing host/scheduler pass methods from identically named
+// methods on unrelated types.
+func isPassReceiver(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := typeutil.StaticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return scope.InternalPkg(fn.Pkg().Path()) != ""
+}

@@ -1,0 +1,11 @@
+package ctxthread_test
+
+import (
+	"testing"
+
+	"parbor/internal/analyzers/atest"
+)
+
+func TestCtxthread(t *testing.T) {
+	atest.Run(t, "../testdata/ctxthread")
+}

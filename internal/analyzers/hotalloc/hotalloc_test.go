@@ -1,0 +1,11 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"parbor/internal/analyzers/atest"
+)
+
+func TestHotalloc(t *testing.T) {
+	atest.Run(t, "../testdata/hotalloc")
+}

@@ -1,0 +1,138 @@
+// Package obsnilsafe defines an analyzer preserving the obs-inertness
+// guarantee of the observability layer (parbor/internal/obs):
+// instrumented code threads a possibly-nil Recorder everywhere, so
+// every exported pointer-receiver method on a type that implements
+// one of the package's interfaces must begin with a nil-receiver
+// guard. Without it, attaching or detaching instrumentation could
+// panic — i.e. observation could perturb the experiment, which the
+// whole layer promises never to do.
+package obsnilsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"parbor/internal/analyzers/scope"
+)
+
+// Analyzer is the obsnilsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "obsnilsafe",
+	Doc:      "require nil-receiver guards on exported pointer-receiver methods of obs Recorder implementations",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope.Obs(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	// Collect every non-empty interface declared in the package.
+	var ifaces []*types.Interface
+	pkgScope := pass.Pkg.Scope()
+	for _, name := range pkgScope.Names() {
+		tn, ok := pkgScope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if iface, ok := tn.Type().Underlying().(*types.Interface); ok && iface.NumMethods() > 0 {
+			ifaces = append(ifaces, iface)
+		}
+	}
+	if len(ifaces) == 0 {
+		return nil, nil
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if scope.InTestFile(pass, decl.Pos()) {
+			return
+		}
+		if decl.Recv == nil || !decl.Name.IsExported() || decl.Body == nil || len(decl.Body.List) == 0 {
+			return
+		}
+		recv := receiverVar(pass, decl)
+		if recv == nil {
+			return
+		}
+		ptr, ok := recv.Type().(*types.Pointer)
+		if !ok {
+			return // value receivers cannot be nil-dereferenced
+		}
+		if !implementsAny(ptr, ifaces) {
+			return
+		}
+		if firstStmtGuardsNil(pass, decl.Body.List[0], recv) {
+			return
+		}
+		typeName := types.TypeString(ptr, types.RelativeTo(pass.Pkg))
+		pass.Reportf(decl.Name.Pos(), "exported method (%s).%s must start with a nil-receiver guard: instrumentation is threaded as a possibly-nil recorder and must never panic", typeName, decl.Name.Name)
+	})
+	return nil, nil
+}
+
+// receiverVar resolves the named receiver of decl. Unnamed and blank
+// receivers return nil and are skipped: a body that cannot reference
+// its receiver cannot dereference nil either.
+func receiverVar(pass *analysis.Pass, decl *ast.FuncDecl) *types.Var {
+	if len(decl.Recv.List) != 1 || len(decl.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	name := decl.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	obj, _ := pass.TypesInfo.ObjectOf(name).(*types.Var)
+	return obj
+}
+
+func implementsAny(t types.Type, ifaces []*types.Interface) bool {
+	for _, iface := range ifaces {
+		if types.Implements(t, iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstStmtGuardsNil reports whether stmt is an if statement whose
+// condition compares the receiver against nil (possibly joined with
+// further conditions: `if c == nil || cmd >= numCmds`).
+func firstStmtGuardsNil(pass *analysis.Pass, stmt ast.Stmt, recv *types.Var) bool {
+	ifStmt, ok := stmt.(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		x, y := bin.X, bin.Y
+		if isNil(pass, y) && isRecv(pass, x, recv) || isNil(pass, x) && isRecv(pass, y, recv) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.ObjectOf(id).(*types.Nil)
+	return isNilObj
+}
+
+func isRecv(pass *analysis.Pass, e ast.Expr, recv *types.Var) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == recv
+}

@@ -1,0 +1,11 @@
+package obsnilsafe_test
+
+import (
+	"testing"
+
+	"parbor/internal/analyzers/atest"
+)
+
+func TestObsnilsafe(t *testing.T) {
+	atest.Run(t, "../testdata/obsnilsafe")
+}

@@ -1,0 +1,171 @@
+// Package parbordir parses the repository's //parbor:* source
+// directives, shared by every analyzer in internal/analyzers.
+//
+// Two directives exist:
+//
+//	//parbor:hotpath
+//	    On a function's doc comment. Declares the function part of the
+//	    zero-allocation pass hot loop: hotalloc outlaws allocating
+//	    constructs inside it and rngstream outlaws the allocating
+//	    Split/SplitN stream derivations (use Child/ChildN/At).
+//
+//	//parbor:wallclock <justification>
+//	    On a function's doc comment, on the offending line, or on the
+//	    line directly above it. Opts the site out of simdeterminism's
+//	    wall-clock/environment checks. The justification is mandatory:
+//	    a bare //parbor:wallclock is itself a diagnostic, so every
+//	    opt-out records why reading the real clock cannot perturb
+//	    simulation results (observational-only timing, stall
+//	    detection, ...).
+//
+// Directive comments deliberately use the Go directive shape (no
+// space after //) so gofmt keeps them glued to their declarations.
+package parbordir
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	// Hotpath is the //parbor:hotpath directive name.
+	Hotpath = "parbor:hotpath"
+	// Wallclock is the //parbor:wallclock directive name.
+	Wallclock = "parbor:wallclock"
+)
+
+// parse splits a comment into (directive, justification) if it is a
+// //parbor:* directive, else returns ok=false.
+func parse(c *ast.Comment) (name, justification string, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//")
+	if !found {
+		return "", "", false // a /* */ comment cannot be a directive
+	}
+	if !strings.HasPrefix(text, "parbor:") {
+		return "", "", false
+	}
+	name, justification, _ = strings.Cut(text, " ")
+	return name, strings.TrimSpace(justification), true
+}
+
+// groupHas reports whether any line of the comment group is the named
+// directive.
+func groupHas(g *ast.CommentGroup, directive string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if name, _, ok := parse(c); ok && name == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHas reports whether the function's doc comment carries the
+// named directive.
+func FuncHas(decl *ast.FuncDecl, directive string) bool {
+	return groupHas(decl.Doc, directive)
+}
+
+// site records one occurrence of a directive.
+type site struct {
+	pos           token.Pos
+	justification string
+}
+
+// Index holds every //parbor:* directive of one package, resolved to
+// file positions, plus the position ranges of functions whose doc
+// comments carry directives.
+type Index struct {
+	fset *token.FileSet
+	// lines maps directive name -> file -> set of line numbers the
+	// directive suppresses (its own line and the line below it, so a
+	// comment above a statement covers the statement).
+	lines map[string]map[*token.File]map[int]bool
+	// funcs maps directive name -> list of [pos, end] ranges of
+	// functions annotated via their doc comment.
+	funcs map[string][][2]token.Pos
+	// bare lists directives that require a justification but have
+	// none (currently only wallclock).
+	bare []site
+}
+
+// NewIndex scans the files of one package.
+func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{
+		fset:  fset,
+		lines: make(map[string]map[*token.File]map[int]bool),
+		funcs: make(map[string][][2]token.Pos),
+	}
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				name, justification, ok := parse(c)
+				if !ok {
+					continue
+				}
+				byFile := ix.lines[name]
+				if byFile == nil {
+					byFile = make(map[*token.File]map[int]bool)
+					ix.lines[name] = byFile
+				}
+				set := byFile[tf]
+				if set == nil {
+					set = make(map[int]bool)
+					byFile[tf] = set
+				}
+				line := tf.Line(c.Pos())
+				set[line] = true
+				set[line+1] = true
+				if name == Wallclock && justification == "" {
+					ix.bare = append(ix.bare, site{pos: c.Pos()})
+				}
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if name, _, ok := parse(c); ok {
+						ix.funcs[name] = append(ix.funcs[name], [2]token.Pos{fd.Pos(), fd.End()})
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// SuppressedAt reports whether a diagnostic at pos is covered by the
+// named directive: same line, the line directly below the directive,
+// or anywhere inside a function annotated via its doc comment.
+func (ix *Index) SuppressedAt(directive string, pos token.Pos) bool {
+	tf := ix.fset.File(pos)
+	if tf != nil {
+		if set := ix.lines[directive][tf]; set != nil && set[tf.Line(pos)] {
+			return true
+		}
+	}
+	for _, r := range ix.funcs[directive] {
+		if r[0] <= pos && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// BarePositions returns the positions of directives that demand a
+// justification but carry none.
+func (ix *Index) BarePositions() []token.Pos {
+	out := make([]token.Pos, 0, len(ix.bare))
+	for _, s := range ix.bare {
+		out = append(out, s.pos)
+	}
+	return out
+}

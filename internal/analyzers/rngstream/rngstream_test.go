@@ -1,0 +1,11 @@
+package rngstream_test
+
+import (
+	"testing"
+
+	"parbor/internal/analyzers/atest"
+)
+
+func TestRngstream(t *testing.T) {
+	atest.Run(t, "../testdata/rngstream")
+}

@@ -1,0 +1,219 @@
+// Package simdeterminism defines an analyzer enforcing that
+// simulation packages are pure functions of the experiment seed.
+//
+// Every figure this repository publishes (the Table 1 counts, the
+// golden failure-set checksums, checkpoint/resume bit-identity) rests
+// on simulation code never observing ambient state. In the packages
+// listed in scope.Simulation the analyzer flags:
+//
+//   - reading the wall clock (time.Now, time.Since, time.Until),
+//   - importing global randomness (math/rand, math/rand/v2) instead
+//     of parbor/internal/rng,
+//   - reading the environment (os.Getenv, os.LookupEnv, os.Environ),
+//   - ranging over a map while appending to a slice declared outside
+//     the loop, without sorting that slice afterwards in the same
+//     function — the one shape of map iteration that leaks Go's
+//     randomized map order into results.
+//
+// The //parbor:wallclock <justification> directive (see package
+// parbordir) opts a line or function out of the clock/environment
+// checks; a directive without a justification is itself reported.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"parbor/internal/analyzers/parbordir"
+	"parbor/internal/analyzers/scope"
+)
+
+// Analyzer is the simdeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "simdeterminism",
+	Doc:      "forbid wall-clock, global randomness, environment reads, and order-sensitive map iteration in simulation packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// bannedCalls maps package path -> function name -> true for the
+// ambient-state reads the analyzer forbids.
+var bannedCalls = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true},
+}
+
+// bannedImports are the global-randomness packages; simulation code
+// must draw from parbor/internal/rng so every stream derives from the
+// experiment seed.
+var bannedImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope.Simulation[scope.InternalPkg(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	var libFiles []*ast.File
+	for _, f := range pass.Files {
+		if !scope.InTestFile(pass, f.Pos()) {
+			libFiles = append(libFiles, f)
+		}
+	}
+	dir := parbordir.NewIndex(pass.Fset, libFiles)
+	for _, pos := range dir.BarePositions() {
+		pass.Reportf(pos, "//parbor:wallclock needs a justification: state why reading ambient state cannot perturb simulation results")
+	}
+	for _, f := range libFiles {
+		for _, imp := range f.Imports {
+			path := imp.Path.Value // quoted
+			if bannedImports[path[1:len(path)-1]] {
+				pass.Reportf(imp.Pos(), "simulation package imports %s; draw from parbor/internal/rng so results derive from the experiment seed", path)
+			}
+		}
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil), (*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || scope.InTestFile(pass, n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, dir, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, n, enclosingFuncBody(stack))
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, dir *parbordir.Index, call *ast.CallExpr) {
+	fn := typeutil.StaticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if !bannedCalls[fn.Pkg().Path()][fn.Name()] {
+		return
+	}
+	if dir.SuppressedAt(parbordir.Wallclock, call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s.%s in a simulation package breaks seed-determinism; inject the value or annotate the site //parbor:wallclock <why>", fn.Pkg().Name(), fn.Name())
+}
+
+// enclosingFuncBody returns the body of the innermost function on the
+// inspector stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// checkMapRange flags `for k := range m { out = append(out, ...) }`
+// where out is declared outside the loop and never handed to a
+// sort.* / slices.* call later in the same function: the append order
+// — and therefore the slice's content order — is Go's randomized map
+// iteration order.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	if funcBody == nil {
+		return
+	}
+	if _, ok := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map); !ok {
+		return
+	}
+	type appendSite struct {
+		obj types.Object
+		pos ast.Node
+	}
+	var appends []appendSite
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		target, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(target)
+		if obj == nil || obj.Pos() >= rng.Pos() {
+			return true // declared inside the loop: rebuilt per key
+		}
+		appends = append(appends, appendSite{obj: obj, pos: as})
+		return true
+	})
+	for _, a := range appends {
+		if !sortedAfter(pass, funcBody, a.obj, rng) {
+			pass.Reportf(a.pos.Pos(), "%s is appended to in map-iteration order, which is randomized; sort it after the loop or iterate sorted keys", a.obj.Name())
+		}
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.*
+// call after the range loop ends, anywhere in the enclosing function.
+func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, obj types.Object, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := typeutil.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(pass, arg, obj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// refersTo reports whether expr is obj, &obj, or obj[...] etc. — any
+// expression whose leftmost identifier resolves to obj.
+func refersTo(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	hit := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			hit = true
+		}
+		return !hit
+	})
+	return hit
+}

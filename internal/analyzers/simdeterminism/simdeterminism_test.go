@@ -1,0 +1,11 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"parbor/internal/analyzers/atest"
+)
+
+func TestSimdeterminism(t *testing.T) {
+	atest.Run(t, "../testdata/simdeterminism")
+}

@@ -1,0 +1,80 @@
+// Package memctl is the ctxthread fixture: its path tail places it in
+// the context-threaded scope, so the shim idiom, unused contexts, and
+// ctx-less pass loops are all in play.
+package memctl
+
+import "context"
+
+// Host drives rows.
+type Host struct{ rows int }
+
+// PassCtx runs one pass, checking for cancellation per row.
+func (h *Host) PassCtx(ctx context.Context) error {
+	for r := 0; r < h.rows; r++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pass is the compat shim: Background handed directly to the Ctx
+// sibling is the one sanctioned use.
+func (h *Host) Pass() error {
+	return h.PassCtx(context.Background())
+}
+
+// Verify builds its own context instead of accepting one.
+func (h *Host) Verify() error {
+	ctx := context.Background() // want ctxthread `outside the shim idiom`
+	return h.PassCtx(ctx)
+}
+
+// Sweep holds a context but drives the rows through the non-Ctx shim,
+// so cancellation never reaches the loop.
+func Sweep(ctx context.Context, h *Host, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := h.Pass(); err != nil { // want ctxthread `holds a context but calls Pass`
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain accepts a context and ignores it.
+func Drain(ctx context.Context, h *Host) error { // want ctxthread `accepts a context.Context but never uses it`
+	_ = h
+	return nil
+}
+
+// RunAll loops over pass methods without accepting a context at all.
+func RunAll(h *Host, n int) error { // want ctxthread `without accepting a context.Context`
+	for i := 0; i < n; i++ {
+		if err := h.Pass(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restage shadows the context it already holds.
+func Restage(ctx context.Context, h *Host) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return h.PassCtx(context.Background()) // want ctxthread `ignores the function's ctx parameter`
+}
+
+// SweepCtx is the compliant shape: context threaded into the Ctx
+// sibling on every iteration.
+func SweepCtx(ctx context.Context, h *Host, n int) error {
+	for i := 0; i < n; i++ {
+		if err := h.PassCtx(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

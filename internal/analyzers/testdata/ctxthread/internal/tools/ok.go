@@ -1,0 +1,10 @@
+// Package tools is outside the context-threaded scope; building a
+// root context here is nobody's business.
+package tools
+
+import "context"
+
+// Root returns a fresh root context.
+func Root() context.Context {
+	return context.Background()
+}

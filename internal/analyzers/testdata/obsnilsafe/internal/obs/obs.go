@@ -1,0 +1,69 @@
+// Package obs is the obsnilsafe fixture: every exported
+// pointer-receiver method on a Recorder implementor must open with a
+// nil-receiver guard so instrumentation can never panic.
+package obs
+
+// Recorder receives observability events.
+type Recorder interface {
+	Add(name string, n uint64)
+}
+
+// Collector implements Recorder and guards every exported method.
+type Collector struct {
+	counts map[string]uint64
+	frozen bool
+}
+
+// Add implements Recorder with the canonical guard.
+func (c *Collector) Add(name string, n uint64) {
+	if c == nil {
+		return
+	}
+	c.counts[name] += n
+}
+
+// Count is guarded by a compound condition, which still counts.
+func (c *Collector) Count(name string) uint64 {
+	if c == nil || name == "" {
+		return 0
+	}
+	return c.counts[name]
+}
+
+// Freeze is exported on an implementor but forgets the guard.
+func (c *Collector) Freeze() { // want obsnilsafe `must start with a nil-receiver guard`
+	c.frozen = true
+}
+
+// reset is unexported; internal call sites own the nil discipline.
+func (c *Collector) reset() {
+	c.counts = nil
+}
+
+// Sink implements Recorder without any guard.
+type Sink struct{ n uint64 }
+
+// Add implements Recorder.
+func (s *Sink) Add(name string, n uint64) { // want obsnilsafe `must start with a nil-receiver guard`
+	s.n += n
+}
+
+// Version has no named receiver: the body cannot dereference nil, so
+// no guard is demanded.
+func (*Sink) Version() string { return "v1" }
+
+// Plain does not implement any package interface; its methods are not
+// threaded as possibly-nil recorders.
+type Plain struct{ n int }
+
+// Bump needs no guard on a non-implementor.
+func (p *Plain) Bump() {
+	p.n++
+}
+
+// Gauge implements Recorder by value; value receivers cannot be
+// nil-dereferenced.
+type Gauge struct{ v uint64 }
+
+// Add implements Recorder.
+func (g Gauge) Add(name string, n uint64) {}

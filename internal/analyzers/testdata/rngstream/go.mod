@@ -1,0 +1,3 @@
+module rngfix
+
+go 1.22

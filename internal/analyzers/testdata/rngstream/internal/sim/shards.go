@@ -1,0 +1,101 @@
+// Package sim is the rngstream fixture: hot-path stream derivation
+// and shard-body stream capture.
+package sim
+
+import (
+	"sync"
+
+	"rngfix/internal/rng"
+)
+
+// Map mimics the worker pool: it runs f for each shard index on its
+// own goroutine, which is what makes captured-stream draws racy.
+func Map(n int, f func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// hotSplit derives with the allocating Split inside a hot path.
+//
+//parbor:hotpath
+func hotSplit(src *rng.Source) uint64 {
+	child := src.Split() // want rngstream `rng.Split allocates its child stream`
+	return child.Uint64()
+}
+
+// hotSplitN derives with the allocating SplitN inside a hot path.
+//
+//parbor:hotpath
+func hotSplitN(src *rng.Source) int {
+	return len(src.SplitN(4)) // want rngstream `rng.SplitN allocates its child stream`
+}
+
+// hotChild derives by value, which hot paths are allowed to do.
+//
+//parbor:hotpath
+func hotChild(src rng.Source) uint64 {
+	child := src.Child(3)
+	return child.Uint64() + src.At(7)
+}
+
+// coldSplit is not a hot path; the allocating derivation is fine.
+func coldSplit(src *rng.Source) *rng.Source {
+	return src.Split()
+}
+
+// shardsCaptureGo draws from the parent stream inside go statements.
+func shardsCaptureGo(src *rng.Source, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = src.Uint64() // want rngstream `captured from the enclosing scope`
+		}()
+	}
+	wg.Wait()
+}
+
+// shardsCapturePool draws from the parent stream inside a pool body.
+func shardsCapturePool(src *rng.Source, n int) {
+	Map(n, func(i int) {
+		_ = src.Intn(10) // want rngstream `captured from the enclosing scope`
+	})
+}
+
+// shardsDerive derives a per-shard child inside the body: the
+// derivations read the parent without perturbing it, so this is the
+// sanctioned pattern.
+func shardsDerive(src rng.Source, n int) {
+	Map(n, func(i int) {
+		child := src.Child(uint64(i))
+		_ = child.Uint64()
+	})
+}
+
+// shardsParam hands each goroutine its own child stream by value.
+func shardsParam(src rng.Source, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(s rng.Source) {
+			defer wg.Done()
+			_ = s.Uint64()
+		}(src.Child(uint64(i)))
+	}
+	wg.Wait()
+}
+
+// sameGoroutine draws via a plain function literal invoked inline; no
+// concurrency, no diagnostic.
+func sameGoroutine(src *rng.Source) int {
+	draw := func() int { return src.Intn(4) }
+	return draw()
+}

@@ -1,0 +1,3 @@
+module simfix
+
+go 1.22

@@ -1,0 +1,43 @@
+// Package dram is a simdeterminism fixture: its path tail places it
+// in the simulation scope, so ambient-state reads must be flagged.
+package dram
+
+import (
+	"math/rand" // want simdeterminism `imports "math/rand"`
+	"os"
+	"time"
+)
+
+// Jitter reads the wall clock and global randomness.
+func Jitter() float64 {
+	return rand.Float64() * float64(time.Now().UnixNano()) // want simdeterminism `time.Now in a simulation package breaks seed-determinism`
+}
+
+// Elapsed measures against the wall clock.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want simdeterminism `time.Since in a simulation package breaks seed-determinism`
+}
+
+// Tuned reads the environment.
+func Tuned() string {
+	if v, ok := os.LookupEnv("PARBOR_TUNE"); ok { // want simdeterminism `os.LookupEnv in a simulation package breaks seed-determinism`
+		return v
+	}
+	return os.Getenv("HOME") // want simdeterminism `os.Getenv in a simulation package breaks seed-determinism`
+}
+
+// Values leaks map-iteration order into a slice.
+func Values(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want simdeterminism `appended to in map-iteration order`
+	}
+	return out
+}
+
+// Stale carries a wallclock opt-out with no justification, which is
+// itself a diagnostic.
+func Stale(deadline time.Time) bool {
+	/* want simdeterminism `needs a justification` */ //parbor:wallclock
+	return time.Now().After(deadline)
+}

@@ -1,0 +1,44 @@
+package dram
+
+import (
+	"sort"
+	"time"
+)
+
+// Deadline is opted out via its doc comment, covering the whole body.
+//
+//parbor:wallclock host-side watchdog deadline; never feeds simulation state
+func Deadline(grace time.Duration) time.Time {
+	return time.Now().Add(grace)
+}
+
+// Progress is opted out at the offending line.
+func Progress() int64 {
+	//parbor:wallclock coarse progress logging only, not part of any result
+	t := time.Now().UnixNano()
+	return t
+}
+
+// SortedKeys ranges a map but sorts the slice afterwards, which is the
+// sanctioned shape.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total ranges a map without any order-sensitive accumulation.
+func Total(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		scratch := []int{}
+		for _, v := range vs {
+			scratch = append(scratch, v)
+		}
+		n += len(scratch)
+	}
+	return n
+}

@@ -1,0 +1,13 @@
+// Package tools is outside the simulation scope, so ambient-state
+// reads are not simdeterminism's business here.
+package tools
+
+import (
+	"os"
+	"time"
+)
+
+// Stamp may read the wall clock and environment freely.
+func Stamp() string {
+	return os.Getenv("USER") + time.Now().String()
+}

@@ -152,15 +152,18 @@ func TestClassifyVictimsValidation(t *testing.T) {
 }
 
 func TestCouplingKindString(t *testing.T) {
-	for kind, want := range map[CouplingKind]string{
-		KindUnknown:            "unknown",
-		KindContentIndependent: "content-independent",
-		KindSingle:             "strongly-coupled",
-		KindPair:               "weakly-coupled",
-		CouplingKind(9):        "CouplingKind(9)",
+	for _, tc := range []struct {
+		kind CouplingKind
+		want string
+	}{
+		{KindUnknown, "unknown"},
+		{KindContentIndependent, "content-independent"},
+		{KindSingle, "strongly-coupled"},
+		{KindPair, "weakly-coupled"},
+		{CouplingKind(9), "CouplingKind(9)"},
 	} {
-		if got := kind.String(); got != want {
-			t.Errorf("%d.String() = %q, want %q", kind, got, want)
+		if got := tc.kind.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.kind, got, tc.want)
 		}
 	}
 }

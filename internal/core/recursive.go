@@ -107,12 +107,16 @@ func newRegionArena(words int) *regionArena {
 
 // reset starts a new pass: all pooled buffers become reusable and no
 // region is materialized.
+//
+//parbor:hotpath
 func (a *regionArena) reset() {
 	a.used = 0
 	clear(a.base)
 }
 
 // alloc returns a pooled buffer of undefined content.
+//
+//parbor:hotpath
 func (a *regionArena) alloc() []uint64 {
 	if a.used < len(a.pool) {
 		b := a.pool[a.used]
@@ -127,6 +131,8 @@ func (a *regionArena) alloc() []uint64 {
 
 // region returns this pass's shared base buffer for (failData,
 // start), filling it on first use.
+//
+//parbor:hotpath
 func (a *regionArena) region(failData uint64, start, size int) []uint64 {
 	k := regionKey{failData: failData, start: start}
 	if b, ok := a.base[k]; ok {
@@ -264,6 +270,8 @@ func rankDistances(freq map[int]int, threshold float64) []int {
 // fillRegionBase builds the victim-agnostic half of a region test
 // pattern: every bit holds the fail value except the region under
 // test, which holds the complement.
+//
+//parbor:hotpath
 func fillRegionBase(buf []uint64, failData uint64, start, size int) {
 	fill := uint64(0)
 	if failData != 0 {
@@ -294,6 +302,8 @@ func fillRegionBase(buf []uint64, failData uint64, start, size int) {
 // holds the victim's fail value except the region under test, which
 // holds the complement; the victim bit itself keeps its fail value
 // even when it lies inside the region (Section 5.2.3).
+//
+//parbor:hotpath
 func fillRegionPattern(buf []uint64, failData uint64, start, size, victimCol int) {
 	fillRegionBase(buf, failData, start, size)
 	setBitTo(buf, victimCol, failData)

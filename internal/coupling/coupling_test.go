@@ -88,14 +88,17 @@ func TestRowVictimsClassMix(t *testing.T) {
 	if total == 0 {
 		t.Fatal("no victims drawn")
 	}
-	for class, wantFrac := range map[Class]float64{
-		StrongLeft:  cfg.StrongLeftFrac,
-		StrongRight: cfg.StrongRightFrac,
-		Weak:        1 - cfg.StrongLeftFrac - cfg.StrongRightFrac,
+	for _, tc := range []struct {
+		class    Class
+		wantFrac float64
+	}{
+		{StrongLeft, cfg.StrongLeftFrac},
+		{StrongRight, cfg.StrongRightFrac},
+		{Weak, 1 - cfg.StrongLeftFrac - cfg.StrongRightFrac},
 	} {
-		got := float64(counts[class]) / float64(total)
-		if math.Abs(got-wantFrac) > 0.05 {
-			t.Errorf("class %v fraction = %.3f, want about %.3f", class, got, wantFrac)
+		got := float64(counts[tc.class]) / float64(total)
+		if math.Abs(got-tc.wantFrac) > 0.05 {
+			t.Errorf("class %v fraction = %.3f, want about %.3f", tc.class, got, tc.wantFrac)
 		}
 	}
 }

@@ -204,6 +204,8 @@ func (c *Chip) antiRow(row int) bool { return (row>>1)&1 == 1 }
 
 // WriteRow stores src (Geometry().Words() words) into the row and
 // restores the row's cells to full charge.
+//
+//parbor:hotpath
 func (c *Chip) WriteRow(bank, row int, src []uint64) {
 	idx := c.geom.rowIndex(bank, row)
 	copy(c.data[idx*c.words:(idx+1)*c.words], src)
@@ -218,6 +220,8 @@ func (c *Chip) WriteRow(bank, row int, src []uint64) {
 // through Wait, so a write-wait-read sequence has a well-defined
 // retention interval. Each Wait also begins a new "pass" for the
 // random-failure injectors and re-draws VRT cell states.
+//
+//parbor:hotpath
 func (c *Chip) Wait(ms float64) {
 	if ms < 0 {
 		panic("dram: negative wait")
@@ -335,6 +339,8 @@ func (c *Chip) surroundCells(col, s int) []int32 {
 // conditions have been met since the row was last written. The stored
 // data is not modified (the host rewrites rows between passes, as a
 // real test host does).
+//
+//parbor:hotpath
 func (c *Chip) ReadRow(bank, row int, dst []uint64) {
 	idx := c.geom.rowIndex(bank, row)
 	stored := c.data[idx*c.words : (idx+1)*c.words]
@@ -375,6 +381,8 @@ func charged(words []uint64, col int, anti bool) bool {
 
 // victimFails evaluates the coupling failure condition for one victim
 // against the stored row content.
+//
+//parbor:hotpath
 func (c *Chip) victimFails(stored []uint64, anti bool, flat int, v *vcell) bool {
 	if !charged(stored, int(v.col), anti) {
 		// Only charged cells leak toward the opposite value within
@@ -415,6 +423,8 @@ func (c *Chip) victimFails(stored []uint64, anti bool, flat int, v *vcell) bool 
 
 // applyRandomFaults injects the non-data-dependent failure modes into
 // dst for this read.
+//
+//parbor:hotpath
 func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []uint64, m *rowMeta) {
 	anti := c.antiRow(row)
 	const (
@@ -453,6 +463,8 @@ func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []u
 // chargeTime returns the sim time (ms) the row's cells were last
 // restored to full charge: its last explicit write, or the latest
 // auto-refresh if that came later and did not skip the row.
+//
+//parbor:hotpath
 func (c *Chip) chargeTime(idx int) float64 {
 	t := c.writeAt[idx]
 	if c.lastRefreshMs > t {

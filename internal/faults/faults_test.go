@@ -46,15 +46,18 @@ func TestRowCellsRates(t *testing.T) {
 			counts[cell.Kind]++
 		}
 	}
-	for kind, rate := range map[CellKind]float64{
-		KindVRT:      cfg.VRTRate,
-		KindMarginal: cfg.MarginalRate,
-		KindWeak:     cfg.WeakCellRate,
+	for _, tc := range []struct {
+		kind CellKind
+		rate float64
+	}{
+		{KindVRT, cfg.VRTRate},
+		{KindMarginal, cfg.MarginalRate},
+		{KindWeak, cfg.WeakCellRate},
 	} {
-		want := rate * rows * cols
-		got := float64(counts[kind])
+		want := tc.rate * rows * cols
+		got := float64(counts[tc.kind])
 		if math.Abs(got-want) > 0.2*want {
-			t.Errorf("kind %d: count = %.0f, want about %.0f", kind, got, want)
+			t.Errorf("kind %d: count = %.0f, want about %.0f", tc.kind, got, want)
 		}
 	}
 }

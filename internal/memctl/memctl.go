@@ -280,6 +280,8 @@ func (h *Host) Parallelism() int {
 // startClock returns the current time when a recorder is attached,
 // and the zero time otherwise, so the disabled path never reads the
 // clock.
+//
+//parbor:wallclock observational-only: feeds obs timing histograms, never simulation state, and is bit-inert (obs_inert_test.go)
 func (h *Host) startClock() time.Time {
 	if h.rec == nil {
 		return time.Time{}
@@ -289,6 +291,8 @@ func (h *Host) startClock() time.Time {
 
 // observeSince records the elapsed time since start into the named
 // series; a zero start (recorder disabled) is a no-op.
+//
+//parbor:wallclock observational-only: pairs with startClock to histogram sweep times; results are bit-identical with or without it
 func (h *Host) observeSince(name string, start time.Time) {
 	if h.rec == nil || start.IsZero() {
 		return
@@ -362,6 +366,8 @@ func (h *Host) forEachActiveChip(ctx context.Context, fn func(chip int) error) e
 }
 
 // runActiveShard is the pre-bound pool body for active-chip sweeps.
+//
+//parbor:hotpath
 func (h *Host) runActiveShard(k int) error { return h.sweep.fn(h.active[k]) }
 
 // clearFaultSlots resets the per-chip fault slots before a sweep.
@@ -496,6 +502,8 @@ func (h *Host) PassWithWaitCtx(ctx context.Context, rows []Row, data [][]uint64,
 
 // writeRowsShard writes one chip's bucketed rows (the write half of a
 // row-list pass).
+//
+//parbor:hotpath
 func (h *Host) writeRowsShard(chip int) error {
 	c := h.mod.Chip(chip)
 	s := &h.sweep
@@ -585,6 +593,8 @@ func (h *Host) readAndDiff(ctx context.Context, attempt int, rows []Row, want []
 // in perIndex[i]; the entries reuse their capacity from the previous
 // pass, which is safe because readAndDiff copies them into the
 // merged result before the next pass can touch them.
+//
+//parbor:hotpath
 func (h *Host) readRowsShard(chip int) error {
 	c := h.mod.Chip(chip)
 	s := &h.sweep
@@ -735,6 +745,8 @@ func (h *Host) FullPassWithWaitCtx(ctx context.Context, gen func(r Row, buf []ui
 // genRowSource adapts the legacy gen callback to a RowSource: the
 // pattern is generated into the owning chip's pattern buffer, which
 // is safe because each chip's rows are visited by a single worker.
+//
+//parbor:hotpath
 func (h *Host) genRowSource(r Row) []uint64 {
 	buf := h.chipPattern[r.Chip]
 	h.sweep.gen(r, buf)
@@ -820,6 +832,8 @@ func (h *Host) fullPassRows(ctx context.Context, src RowSource, waitMs float64) 
 }
 
 // writeFullShard writes the source pattern to every row of one chip.
+//
+//parbor:hotpath
 func (h *Host) writeFullShard(chip int) error {
 	c := h.mod.Chip(chip)
 	g := h.mod.Geometry()
@@ -855,6 +869,8 @@ func (h *Host) writeFullShard(chip int) error {
 // the source pattern. The per-chip failure buffer reuses its capacity
 // from the previous pass; fullPassRows copies it into the merged
 // result before returning.
+//
+//parbor:hotpath
 func (h *Host) readFullShard(chip int) error {
 	c := h.mod.Chip(chip)
 	g := h.mod.Geometry()
@@ -888,6 +904,8 @@ func (h *Host) readFullShard(chip int) error {
 
 // appendMismatches diffs the read-back buffer got against want and
 // appends one BitAddr per flipped bit, in ascending column order.
+//
+//parbor:hotpath
 func appendMismatches(fails []BitAddr, r Row, want, got []uint64) []BitAddr {
 	for w, g := range got {
 		diff := g ^ want[w]

@@ -157,12 +157,14 @@ func (c *Collector) Counter(name string) uint64 {
 	return c.counters[name]
 }
 
-// Commands returns a snapshot of the DRAM-command totals.
+// Commands returns a snapshot of the DRAM-command totals. On a nil
+// collector the snapshot is empty but non-nil, so report writers can
+// range and serialize it unconditionally.
 func (c *Collector) Commands() map[string]uint64 {
-	out := make(map[string]uint64, numCmds)
 	if c == nil {
-		return out
+		return make(map[string]uint64, numCmds)
 	}
+	out := make(map[string]uint64, numCmds)
 	for i := Cmd(0); i < numCmds; i++ {
 		out[i.String()] = c.cmds[i].Load()
 	}

@@ -90,14 +90,18 @@ type TimingSummary struct {
 // Snapshot freezes the collector into a Report. Open stages are
 // reported with their elapsed time so far.
 func (c *Collector) Snapshot(tool string) *Report {
+	if c == nil {
+		return &Report{
+			Schema:   ReportSchema,
+			Tool:     tool,
+			Commands: make(map[string]uint64, numCmds),
+			Config:   map[string]any{},
+		}
+	}
 	r := &Report{
 		Schema:   ReportSchema,
 		Tool:     tool,
 		Commands: c.Commands(),
-	}
-	if c == nil {
-		r.Config = map[string]any{}
-		return r
 	}
 	r.WallMs = float64(time.Since(c.start)) / 1e6
 	c.mu.Lock()

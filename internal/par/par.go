@@ -120,6 +120,8 @@ dispatch:
 // the dispatcher blocked forever on the task channel). The duration
 // callback fires from the deferred handler so panicking tasks are
 // timed too.
+//
+//parbor:wallclock task timing feeds only the onTask observability callback, never simulation state
 func call(fn func(i int) error, i int, onTask func(i int, d time.Duration)) (err error) {
 	var start time.Time
 	if onTask != nil {

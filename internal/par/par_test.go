@@ -4,8 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
