@@ -1,0 +1,188 @@
+// Command parbord is the PARBOR fleet daemon: it multiplexes
+// thousands of checkpointed online-test sweeps over a bounded worker
+// pool and serves an HTTP/JSON API to enroll modules, stream
+// per-module reports and checkpoints, and query fleet-wide failure
+// rollups — the field-study deployment shape (one agent per machine
+// park, per-vendor failure populations).
+//
+// Usage:
+//
+//	parbord -listen 127.0.0.1:7799 -state /var/lib/parbord
+//	parbord -state /var/lib/parbord -resume
+//	parbord -enroll fleet.json -run-to-idle -rollup
+//
+// The scheduling quantum is one transactional online-test epoch:
+// every enrolled module is checkpointed (parbor/checkpoint/v1)
+// after each completed epoch, so SIGTERM is always a graceful drain —
+// in-flight epochs finish, every module's state entry is persisted to
+// -state, and a later `parbord -resume` continues each sweep
+// bit-identically to an uninterrupted run.
+//
+// -enroll takes a JSON array of fleet state entries
+// ({"schema":"parbor/fleet-state/v1","spec":{...},"snapshot":{...}});
+// the snapshot is optional, and plain enrollment bodies as accepted
+// by POST /v1/modules can be converted by wrapping them in the entry
+// schema. With -run-to-idle the daemon exits once no module wants
+// another epoch (instead of waiting for a signal); -rollup prints the
+// final fleet rollup JSON to stdout on exit.
+//
+// API routes are documented in internal/fleet/api.go and DESIGN.md
+// section 11.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parbor/internal/fleet"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "", "serve the HTTP API on this address (empty = no API)")
+		workers   = flag.Int("workers", 0, "epoch scheduler worker bound (0 = GOMAXPROCS)")
+		stateDir  = flag.String("state", "", "persist per-module state entries in this directory on drain")
+		resume    = flag.Bool("resume", false, "enroll every state entry found in -state before starting")
+		enroll    = flag.String("enroll", "", "enroll modules from this JSON file (array of fleet state entries)")
+		runToIdle = flag.Bool("run-to-idle", false, "exit when the fleet quiesces instead of waiting for a signal")
+		rollup    = flag.Bool("rollup", false, "print the final fleet rollup JSON to stdout on exit")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, options{
+		listen:    *listen,
+		workers:   *workers,
+		stateDir:  *stateDir,
+		resume:    *resume,
+		enroll:    *enroll,
+		runToIdle: *runToIdle,
+		rollup:    *rollup,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "parbord: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	listen    string
+	workers   int
+	stateDir  string
+	resume    bool
+	enroll    string
+	runToIdle bool
+	rollup    bool
+}
+
+func run(ctx context.Context, opts options) error {
+	if opts.resume && opts.stateDir == "" {
+		return errors.New("-resume needs -state")
+	}
+	d := fleet.NewDaemon(fleet.Config{Workers: opts.workers, StateDir: opts.stateDir})
+
+	if opts.resume {
+		n, err := d.LoadState()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "parbord: resumed %d modules from %s\n", n, opts.stateDir)
+	}
+	if opts.enroll != "" {
+		n, err := enrollFile(d, opts.enroll)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "parbord: enrolled %d modules from %s\n", n, opts.enroll)
+	}
+
+	// The API server, if any, lives for the whole run and is shut
+	// down after the drain so operators can watch the fleet go quiet.
+	var srv *http.Server
+	serveErr := make(chan error, 1)
+	if opts.listen != "" {
+		ln, err := net.Listen("tcp", opts.listen)
+		if err != nil {
+			return fmt.Errorf("listening on %s: %w", opts.listen, err)
+		}
+		srv = &http.Server{Handler: d.Handler()}
+		go func() { serveErr <- srv.Serve(ln) }()
+		fmt.Fprintf(os.Stderr, "parbord: serving on %s (%d workers)\n", ln.Addr(), d.Pool().Workers())
+	}
+
+	d.Start(ctx)
+	if opts.runToIdle {
+		// Quiesce on a watcher goroutine so a signal still interrupts
+		// a fleet that never goes idle (unbounded modules).
+		idle := make(chan struct{})
+		go func() { d.Quiesce(); close(idle) }()
+		select {
+		case <-idle:
+		case <-ctx.Done():
+		}
+	} else {
+		<-ctx.Done()
+	}
+
+	// Graceful drain: every in-flight epoch completes, every module is
+	// left with a current checkpoint, and (with -state) the fleet is
+	// persisted.
+	var drainErr error
+	if opts.stateDir != "" {
+		drainErr = d.Drain()
+	} else {
+		d.Pool().Drain()
+	}
+	fmt.Fprintf(os.Stderr, "parbord: drained; %d modules enrolled\n", d.Registry().Len())
+
+	if srv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "parbord: api shutdown: %v\n", err)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("api server: %w", err)
+		}
+	}
+
+	if opts.rollup {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d.Rollup()); err != nil {
+			return err
+		}
+	}
+	return drainErr
+}
+
+// enrollFile enrolls every entry of a JSON array of fleet state
+// entries.
+func enrollFile(d *fleet.Daemon, path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var entries []fleet.StateEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	for i, e := range entries {
+		if e.Schema != fleet.StateSchema {
+			return i, fmt.Errorf("%s entry %d: unknown schema %q", path, i, e.Schema)
+		}
+		if _, err := d.Enroll(e.Spec, e.Snapshot); err != nil {
+			return i, err
+		}
+	}
+	return len(entries), nil
+}

@@ -19,9 +19,11 @@
 // freshly constructed module (same config, same seed) therefore
 // reproduces the mid-sweep module state exactly, and the resumed
 // sweep's remaining epochs produce bit-identical failures to the
-// uninterrupted run. Host-side fault-plane attempt counters are not
-// part of the snapshot, so the bit-identity guarantee covers the
-// cell-level noise models but not an attached chaos plane.
+// uninterrupted run. The host's fault-plane attempt counter is
+// captured too (HostAttempts): a chaos plane keys every injected
+// fault on it, so restoring it extends the bit-identity guarantee to
+// runs with a fault plane attached — the resumed host replays the
+// exact fault schedule the uninterrupted run would have drawn.
 package checkpoint
 
 import (
@@ -66,6 +68,13 @@ type Snapshot struct {
 	Seed      uint64           `json:"seed"`
 	Scheduler onlinetest.State `json:"scheduler"`
 	Clocks    []Clock          `json:"clocks"`
+	// HostAttempts is the memctl.Host attempt counter at capture time
+	// — the entropy an attached fault plane keys its draws on. Zero in
+	// snapshots from hosts without a plane (the counter still advances
+	// there, but nothing observes it, so restoring zero is harmless
+	// for old snapshots). Captors record it with host.Attempts();
+	// resumers restore it with host.SetAttempts before the first pass.
+	HostAttempts int `json:"host_attempts,omitempty"`
 }
 
 // ident distills a module's identity.
@@ -106,6 +115,9 @@ func (s *Snapshot) Validate(mod *dram.Module) error {
 	if len(s.Clocks) != mod.Chips() {
 		return fmt.Errorf("checkpoint: %d clocks for %d chips", len(s.Clocks), mod.Chips())
 	}
+	if s.HostAttempts < 0 {
+		return fmt.Errorf("checkpoint: negative host attempt counter %d", s.HostAttempts)
+	}
 	for i, c := range s.Clocks {
 		if c.NowMs < 0 {
 			return fmt.Errorf("checkpoint: chip %d: negative clock %v", i, c.NowMs)
@@ -128,13 +140,37 @@ func (s *Snapshot) Apply(mod *dram.Module) error {
 	return nil
 }
 
-// WriteFile serializes the snapshot as indented JSON to path.
-func (s *Snapshot) WriteFile(path string) error {
+// Marshal serializes the snapshot as indented JSON with a trailing
+// newline — the exact bytes WriteFile persists. The in-memory form
+// exists for services that hold thousands of live snapshots (package
+// fleet streams them over HTTP) without touching the filesystem.
+func (s *Snapshot) Marshal() ([]byte, error) {
 	data, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
-		return fmt.Errorf("checkpoint: marshaling snapshot: %w", err)
+		return nil, fmt.Errorf("checkpoint: marshaling snapshot: %w", err)
 	}
-	data = append(data, '\n')
+	return append(data, '\n'), nil
+}
+
+// Unmarshal parses a snapshot serialized by Marshal, rejecting
+// unknown schemas.
+func Unmarshal(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("checkpoint: parsing snapshot: %w", err)
+	}
+	if s.Schema != Schema {
+		return nil, fmt.Errorf("checkpoint: unknown schema %q", s.Schema)
+	}
+	return &s, nil
+}
+
+// WriteFile serializes the snapshot as indented JSON to path.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := s.Marshal()
+	if err != nil {
+		return err
+	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("checkpoint: writing snapshot: %w", err)
 	}
@@ -147,12 +183,5 @@ func ReadFile(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: reading snapshot: %w", err)
 	}
-	var s Snapshot
-	if err := json.Unmarshal(data, &s); err != nil {
-		return nil, fmt.Errorf("checkpoint: parsing snapshot: %w", err)
-	}
-	if s.Schema != Schema {
-		return nil, fmt.Errorf("checkpoint: unknown schema %q", s.Schema)
-	}
-	return &s, nil
+	return Unmarshal(data)
 }

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"parbor/internal/chaos"
 	"parbor/internal/coupling"
 	"parbor/internal/dram"
 	"parbor/internal/faults"
@@ -121,6 +122,147 @@ func TestInterruptResumeBitIdentical(t *testing.T) {
 	}
 }
 
+// TestInterruptResumeBitIdenticalVRTHot extends the bit-identity
+// property to a config where VRT toggles dominate the failure set.
+// This is the regression test for the VRT resume drift: toggle draws
+// used to come from one sequential per-pass stream over the currently
+// materialized VRT rows, so the resumed process — whose meta cache is
+// empty, materializing only the rows its remaining epochs touch — saw
+// a different draw order than the uninterrupted run and diverged.
+// Keyed per-(pass, row, cell) draws make the materialization history
+// invisible. The snapshot travels through the in-memory
+// Marshal/Unmarshal round-trip rather than a file.
+func TestInterruptResumeBitIdenticalVRTHot(t *testing.T) {
+	const seed = 23
+	const total = 8
+	vrtModule := func(t *testing.T, seed uint64) *dram.Module {
+		t.Helper()
+		mod, err := dram.NewModule(dram.ModuleConfig{
+			Name:     "ckpt-vrt",
+			Vendor:   scramble.VendorA,
+			Chips:    2,
+			Geometry: dram.Geometry{Banks: 1, Rows: 16, Cols: 8192},
+			Coupling: coupling.Config{VulnerableRate: 0, RetentionMinMs: 1, RetentionMaxMs: 1},
+			Faults:   faults.Config{VRTRate: 2e-3, VRTToggleProb: 0.5},
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatalf("NewModule: %v", err)
+		}
+		return mod
+	}
+
+	straight := newSched(t, vrtModule(t, seed))
+	epochs(t, straight, total)
+
+	firstMod := vrtModule(t, seed)
+	first := newSched(t, firstMod)
+	epochs(t, first, total/2)
+	data, err := Capture(firstMod, seed, first.State()).Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+
+	snap, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	resumedMod := vrtModule(t, snap.Seed)
+	if err := snap.Apply(resumedMod); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	host, err := memctl.NewHost(resumedMod, 0)
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	resumed, err := onlinetest.Resume(host, snap.Scheduler)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	epochs(t, resumed, total/2)
+
+	if got, want := resumed.Failures(), straight.Failures(); !reflect.DeepEqual(got, want) {
+		t.Errorf("VRT-hot resumed sweep found %d failures, uninterrupted %d — VRT draws depend on materialization history", len(got), len(want))
+	}
+	if resumed.Epochs() != straight.Epochs() {
+		t.Errorf("resumed epoch count %d, uninterrupted %d", resumed.Epochs(), straight.Epochs())
+	}
+	if len(straight.Failures()) == 0 {
+		t.Fatal("no VRT failures at all; the comparison is vacuous")
+	}
+}
+
+// TestInterruptResumeWithChaosPlane: with HostAttempts captured and
+// restored, the bit-identity guarantee extends to runs with a fault
+// plane attached — the resumed host continues the attempt counter the
+// plane keys its draws on, so it replays the uninterrupted run's
+// exact fault schedule.
+func TestInterruptResumeWithChaosPlane(t *testing.T) {
+	const seed = 17
+	const total = 8
+	planeCfg := chaos.Config{Seed: 11, WriteFaultProb: 0.004, ReadFaultProb: 0.004}
+	mk := func(t *testing.T, mod *dram.Module) (*memctl.Host, *onlinetest.Scheduler) {
+		t.Helper()
+		plane, err := chaos.New(planeCfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, err := memctl.NewHostWithConfig(mod, memctl.HostConfig{Faults: plane})
+		if err != nil {
+			t.Fatalf("NewHost: %v", err)
+		}
+		s, err := onlinetest.New(host, onlinetest.Config{Distances: distances, RowsPerEpoch: 8, MaxRetries: 8})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return host, s
+	}
+
+	_, straight := mk(t, newModule(t, seed))
+	epochs(t, straight, total)
+
+	firstMod := newModule(t, seed)
+	firstHost, first := mk(t, firstMod)
+	epochs(t, first, total/2)
+	snap := Capture(firstMod, seed, first.State())
+	snap.HostAttempts = firstHost.Attempts()
+	data, err := snap.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+
+	snap, err = Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	resumedMod := newModule(t, snap.Seed)
+	if err := snap.Apply(resumedMod); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	resumedHost, _ := mk(t, resumedMod)
+	if err := resumedHost.SetAttempts(snap.HostAttempts); err != nil {
+		t.Fatalf("SetAttempts: %v", err)
+	}
+	resumed, err := onlinetest.Resume(resumedHost, snap.Scheduler)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	epochs(t, resumed, total/2)
+
+	if straight.Retries() == 0 {
+		t.Fatal("plane injected no transient faults; the attempt-counter comparison is vacuous")
+	}
+	if resumed.Retries() != straight.Retries() {
+		t.Errorf("resumed run consumed %d retries, uninterrupted %d — fault schedules differ", resumed.Retries(), straight.Retries())
+	}
+	if got, want := resumed.Failures(), straight.Failures(); !reflect.DeepEqual(got, want) {
+		t.Errorf("chaos resumed sweep found %d failures, uninterrupted %d", len(got), len(want))
+	}
+	if len(straight.Failures()) == 0 {
+		t.Fatal("no failures at all; the comparison is vacuous")
+	}
+}
+
 func TestSnapshotValidation(t *testing.T) {
 	mod := newModule(t, 5)
 	s := newSched(t, mod)
@@ -153,6 +295,12 @@ func TestSnapshotValidation(t *testing.T) {
 	negative.Clocks[0].NowMs = -1
 	if err := negative.Validate(mod); err == nil {
 		t.Error("negative clock accepted")
+	}
+
+	negAttempts := *snap
+	negAttempts.HostAttempts = -1
+	if err := negAttempts.Validate(mod); err == nil {
+		t.Error("negative host attempt counter accepted")
 	}
 
 	smaller, err := dram.NewModule(dram.ModuleConfig{

@@ -13,7 +13,6 @@ package dram
 
 import (
 	"fmt"
-	"slices"
 
 	"parbor/internal/coupling"
 	"parbor/internal/faults"
@@ -88,25 +87,24 @@ type Chip struct {
 	// skips both the label hash and the per-draw heap allocation.
 	// Stream-identical to the SplitN calls they replace (rng contract,
 	// TestValueVariantsMatchPointerVariants).
+	//
+	// Invariant (per-event keying): every stochastic per-event draw is
+	// keyed by a chain of At derivations, one field per link —
+	// At(pass).At(flat row).At(column) — never by fields packed into a
+	// single integer. An earlier packing (pass<<32 | flat<<13 | col)
+	// silently collided for geometries with >= 2^19 flat rows or
+	// >= 2^13 columns, correlating draws across rows and passes; the
+	// chained form is collision-free for every geometry
+	// Geometry.Validate accepts (TestLargeGeometryDrawsIndependent).
+	// Keyed draws are also position-independent: no draw's value
+	// depends on how many other draws happened first, which is what
+	// makes lazy row materialization and checkpoint/resume
+	// unobservable (TestVRTTogglesIgnoreMaterializationOrder).
 	vrtSrc      rng.Source // "vrt-toggle"
 	softSrc     rng.Source // "soft"
 	marginalSrc rng.Source // "marginal"
 	remapSrc    rng.Source // "remap-fail"
 	rowSrc      rng.Source // "row"
-
-	// vrtRows indexes the materialized rows owning at least one VRT
-	// cell, in ascending flat-row order; rows are inserted exactly
-	// once, when rowMetaFor materializes them. Wait walks this index
-	// instead of scanning every materialized row's cell list.
-	//
-	// Invariant (VRT draw order): the "vrt-toggle" stream must be
-	// consumed in ascending (flat row, fcell index) order — exactly
-	// the order the pre-index implementation's full scan produced —
-	// because every failure set, golden checksum and obs counter
-	// downstream is pinned to that draw sequence. Keeping the index
-	// sorted by flat row, and each rowMeta.vrtIdx ascending, preserves
-	// it regardless of the order rows happen to materialize in.
-	vrtRows []int32
 
 	// rec, when non-nil, receives command-accounting events. It must
 	// be safe for concurrent use: sibling chips record into the same
@@ -130,8 +128,6 @@ type rowMeta struct {
 	raw     []coupling.Victim // ground-truth victims, as drawn from the RNG
 	victims []vcell
 	fcells  []faults.Cell
-	vrtOn   []bool  // parallel to fcells; leaky state of VRT cells
-	vrtIdx  []int32 // ascending indices into fcells of the VRT cells
 }
 
 // NewChip builds a chip. The chip's process variation (victim
@@ -219,7 +215,12 @@ func (c *Chip) WriteRow(bank, row int, src []uint64) {
 // Wait advances simulated time by ms milliseconds. Time only moves
 // through Wait, so a write-wait-read sequence has a well-defined
 // retention interval. Each Wait also begins a new "pass" for the
-// random-failure injectors and re-draws VRT cell states.
+// random-failure injectors; the per-pass VRT leaky states are not
+// drawn here but keyed per (pass, row, cell) at read time, so the
+// draw a cell sees is independent of which rows happen to be
+// materialized — the property checkpoint/resume relies on (an
+// earlier sequential per-pass stream diverged after a resume, whose
+// empty meta cache changed the draw order).
 //
 //parbor:hotpath
 func (c *Chip) Wait(ms float64) {
@@ -228,19 +229,6 @@ func (c *Chip) Wait(ms float64) {
 	}
 	c.nowMs += ms
 	c.pass++
-	if c.fc.VRTRate > 0 {
-		// Walk the VRT cell index instead of every materialized row:
-		// the index is kept in ascending (flat row, fcell index)
-		// order, so the draw sequence below is bit-identical to the
-		// full scan it replaced (see the vrtRows invariant).
-		src := c.vrtSrc.At(c.pass)
-		for _, flat := range c.vrtRows {
-			m := c.meta[flat]
-			for _, i := range m.vrtIdx {
-				m.vrtOn[i] = src.Bool(c.fc.VRTToggleProb)
-			}
-		}
-	}
 }
 
 // rowMetaFor lazily materializes the per-row cell population and
@@ -255,15 +243,6 @@ func (c *Chip) rowMetaFor(flat int) *rowMeta {
 		raw:     raw,
 		victims: make([]vcell, 0, len(raw)),
 		fcells:  c.fc.RowCells(src.Split("faults"), c.geom.Cols),
-	}
-	m.vrtOn = make([]bool, len(m.fcells))
-	for i, fcell := range m.fcells {
-		if fcell.Kind == faults.KindVRT {
-			m.vrtIdx = append(m.vrtIdx, int32(i))
-		}
-	}
-	if len(m.vrtIdx) > 0 {
-		c.indexVRTRow(int32(flat))
 	}
 	for _, v := range raw {
 		vc := vcell{
@@ -289,14 +268,6 @@ func (c *Chip) rowMetaFor(flat int) *rowMeta {
 	}
 	c.meta[flat] = m
 	return m
-}
-
-// indexVRTRow inserts a freshly materialized flat row index into the
-// sorted VRT row index. Rows materialize exactly once, so the insert
-// runs once per VRT-bearing row, never on the per-pass path.
-func (c *Chip) indexVRTRow(flat int32) {
-	i, _ := slices.BinarySearch(c.vrtRows, flat)
-	c.vrtRows = slices.Insert(c.vrtRows, i, flat)
 }
 
 // surroundCells walks the physical segment outward from col and
@@ -394,7 +365,7 @@ func (c *Chip) victimFails(stored []uint64, anti bool, flat int, v *vcell) bool 
 		// The redundant cell's physical neighbors are spare columns
 		// outside the system address space: the failure fires
 		// sporadically, independent of written data.
-		src := c.remapSrc.At(c.pass<<32 | uint64(flat)<<13 | uint64(v.col))
+		src := c.remapSrc.At(c.pass).At(uint64(flat)).At(uint64(v.col))
 		return src.Bool(c.fc.RemappedFailProb)
 	}
 	leftOpposite := v.left >= 0 && !charged(stored, int(v.left), anti)
@@ -422,7 +393,10 @@ func (c *Chip) victimFails(stored []uint64, anti bool, flat int, v *vcell) bool 
 }
 
 // applyRandomFaults injects the non-data-dependent failure modes into
-// dst for this read.
+// dst for this read. Every stochastic draw below is keyed per
+// (pass, flat row, column) by chained At derivations (see the keying
+// invariant on Chip), so two reads of the same row in one pass see
+// the same faults, and no draw depends on what else was read first.
 //
 //parbor:hotpath
 func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []uint64, m *rowMeta) {
@@ -432,16 +406,24 @@ func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []u
 		marginalRetentionMs = 200 // marginal cells only fail on long waits
 		weakRetentionMs     = 300 // weak cells fail deterministically on long waits
 	)
-	for i, fcell := range m.fcells {
+	vrtPass := c.vrtSrc.At(c.pass).At(uint64(flat))
+	marginalPass := c.marginalSrc.At(c.pass).At(uint64(flat))
+	for _, fcell := range m.fcells {
 		col := int(fcell.Col)
 		switch fcell.Kind {
 		case faults.KindVRT:
-			if elapsed >= vrtRetentionMs && m.vrtOn[i] && charged(stored, col, anti) {
-				flipBit(dst, col)
+			if elapsed >= vrtRetentionMs && charged(stored, col, anti) {
+				// The leaky state is a fresh per-pass Bernoulli draw per
+				// VRT cell, exactly as when it was drawn eagerly in Wait
+				// — but keyed, so unmaterialized rows need no state.
+				src := vrtPass.At(uint64(fcell.Col))
+				if src.Bool(c.fc.VRTToggleProb) {
+					flipBit(dst, col)
+				}
 			}
 		case faults.KindMarginal:
 			if elapsed >= marginalRetentionMs && charged(stored, col, anti) {
-				src := c.marginalSrc.At(c.pass<<32 | uint64(flat)<<13 | uint64(fcell.Col))
+				src := marginalPass.At(uint64(fcell.Col))
 				if src.Bool(c.fc.MarginalFailProb) {
 					flipBit(dst, col)
 				}
@@ -453,7 +435,7 @@ func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []u
 		}
 	}
 	if c.fc.SoftErrorPerRowRead > 0 {
-		src := c.softSrc.At(c.pass<<32 | uint64(flat))
+		src := c.softSrc.At(c.pass).At(uint64(flat))
 		if src.Bool(c.fc.SoftErrorPerRowRead) {
 			flipBit(dst, src.Intn(c.geom.Cols))
 		}

@@ -324,8 +324,9 @@ func TestNewChipErrors(t *testing.T) {
 		mutate func(*ChipConfig)
 	}{
 		{name: "bad vendor", mutate: func(c *ChipConfig) { c.Vendor = scramble.Vendor(77) }},
-		{name: "cols not multiple of 64", mutate: func(c *ChipConfig) { c.Geometry.Cols = 100 }},
 		{name: "cols not multiple of chunk", mutate: func(c *ChipConfig) { c.Geometry.Cols = 64 }},
+		{name: "cols exceed address space", mutate: func(c *ChipConfig) { c.Geometry.Cols = MaxCols + 128 }},
+		{name: "flat rows exceed address space", mutate: func(c *ChipConfig) { c.Geometry.Banks = 2; c.Geometry.Rows = MaxFlatRows }},
 		{name: "bad coupling", mutate: func(c *ChipConfig) { c.Coupling.VulnerableRate = 2 }},
 		{name: "bad faults", mutate: func(c *ChipConfig) { c.Faults.VRTRate = -1 }},
 		{name: "negative banks", mutate: func(c *ChipConfig) { c.Geometry.Banks = -1 }},
@@ -351,6 +352,46 @@ func TestNewChipDefaultGeometry(t *testing.T) {
 	}
 	if got, want := chip.Geometry(), ExperimentGeometry(); got != want {
 		t.Errorf("default geometry = %+v, want %+v", got, want)
+	}
+}
+
+// TestPaddedGeometryRoundTrip: with Cols=96 the last storage word has
+// 32 padding bits. Write/read must round-trip the real cells, and the
+// injectors (soft error targets a column drawn from [0, Cols)) must
+// never flip a padding bit.
+func TestPaddedGeometryRoundTrip(t *testing.T) {
+	chip, err := NewChip(ChipConfig{
+		Geometry: Geometry{Banks: 1, Rows: 8, Cols: 96},
+		Vendor:   scramble.VendorToy,
+		Coupling: coupling.Config{RetentionMinMs: 1, RetentionMaxMs: 1},
+		Faults:   faults.Config{SoftErrorPerRowRead: 1},
+		Seed:     77,
+	})
+	if err != nil {
+		t.Fatalf("NewChip: %v", err)
+	}
+	g := chip.Geometry()
+	if g.Words() != 2 {
+		t.Fatalf("Words() = %d for Cols=96, want 2", g.Words())
+	}
+	words := []uint64{0x0123456789abcdef, 0xffffffff0000aaaa} // garbage in padding bits
+	got := make([]uint64, g.Words())
+	chip.WriteRow(0, 0, words)
+	chip.ReadRow(0, 0, got)
+	// No wait: elapsed 0, injectors off, the read is a pure copy.
+	if got[0] != words[0] || got[1] != words[1] {
+		t.Fatalf("padded row did not round-trip: %x, want %x", got, words)
+	}
+	chip.Wait(100)
+	chip.ReadRow(0, 0, got)
+	// The guaranteed soft error must land on a real cell: any flip in
+	// the padding bits means the injector drew a column >= Cols.
+	mask := g.LastWordMask()
+	if diff := (got[1] ^ words[1]) &^ mask; diff != 0 {
+		t.Fatalf("injector flipped padding bits: %x", diff)
+	}
+	if (got[0]^words[0])|((got[1]^words[1])&mask) == 0 {
+		t.Fatal("SoftErrorPerRowRead=1 produced no flip")
 	}
 }
 
@@ -415,7 +456,18 @@ func TestGeometryHelpers(t *testing.T) {
 	if got := g.Bits(); got != 32*1024 {
 		t.Errorf("Bits() = %d, want %d", got, 32*1024)
 	}
-	if err := (Geometry{Banks: 1, Rows: 1, Cols: 63}).Validate(); err == nil {
-		t.Error("Validate accepted Cols=63")
+	// Cols need not be a multiple of 64: the last word is padded.
+	padded := Geometry{Banks: 1, Rows: 1, Cols: 63}
+	if err := padded.Validate(); err != nil {
+		t.Errorf("Validate rejected Cols=63: %v", err)
+	}
+	if got := padded.Words(); got != 1 {
+		t.Errorf("Words() = %d for Cols=63, want 1", got)
+	}
+	if got := padded.LastWordMask(); got != (1<<63)-1 {
+		t.Errorf("LastWordMask() = %x for Cols=63, want %x", got, uint64(1<<63)-1)
+	}
+	if got := g.LastWordMask(); got != ^uint64(0) {
+		t.Errorf("LastWordMask() = %x for Cols=1024, want all ones", got)
 	}
 }

@@ -1,0 +1,245 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"parbor/internal/checkpoint"
+	"parbor/internal/obs"
+)
+
+// Fleet-level counter names, reported into the daemon's own
+// collector. They are reconciled against per-module state by
+// Reconcile.
+const (
+	CounterEnrolled    = "fleet.enrolled"
+	CounterRetired     = "fleet.retired"
+	CounterEpochs      = "fleet.epochs"
+	CounterNewFailures = "fleet.new_failures"
+)
+
+// StateSchema identifies the persisted per-module state entry layout.
+const StateSchema = "parbor/fleet-state/v1"
+
+// StateEntry is one module's durable record: the enrollment spec plus
+// the latest checkpoint snapshot. A directory of these is the whole
+// daemon state — rebuilding every entry reproduces the fleet exactly,
+// and each member resumes bit-identically from its snapshot.
+type StateEntry struct {
+	Schema   string               `json:"schema"`
+	Spec     ModuleSpec           `json:"spec"`
+	Snapshot *checkpoint.Snapshot `json:"snapshot,omitempty"`
+}
+
+// Config tunes a Daemon.
+type Config struct {
+	// Workers bounds the epoch scheduler; <= 0 selects GOMAXPROCS.
+	Workers int
+	// StateDir, when non-empty, is where SaveState persists one JSON
+	// entry per module and LoadState resumes from. Created on demand.
+	StateDir string
+}
+
+// Daemon ties the fleet together: registry + pool + fleet-level
+// observability + persistence. One Daemon is one parbord process.
+type Daemon struct {
+	cfg  Config
+	reg  *Registry
+	pool *Pool
+	col  *obs.Collector
+}
+
+// NewDaemon builds an idle daemon; call Start (or Run) to launch the
+// workers.
+func NewDaemon(cfg Config) *Daemon {
+	return &Daemon{
+		cfg:  cfg,
+		reg:  NewRegistry(),
+		pool: NewPool(cfg.Workers),
+		col:  obs.NewCollector(),
+	}
+}
+
+// Registry exposes the membership table (read-mostly; mutate through
+// Enroll/Retire).
+func (d *Daemon) Registry() *Registry { return d.reg }
+
+// Pool exposes the epoch scheduler.
+func (d *Daemon) Pool() *Pool { return d.pool }
+
+// Enroll validates and builds a module from spec (resuming from snap
+// when non-nil), registers it, and queues it for its first quantum.
+func (d *Daemon) Enroll(spec ModuleSpec, snap *checkpoint.Snapshot) (*Module, error) {
+	m, err := buildModule(spec, snap, d.col)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.reg.Add(m); err != nil {
+		return nil, err
+	}
+	d.col.Add(CounterEnrolled, 1)
+	if m.Status() != StatusDone {
+		d.pool.Submit(m)
+	}
+	return m, nil
+}
+
+// Retire removes a module from the fleet. Its last snapshot remains
+// readable through the returned module until the caller drops it.
+func (d *Daemon) Retire(id string) bool {
+	ok := d.reg.Remove(id)
+	if ok {
+		d.col.Add(CounterRetired, 1)
+	}
+	return ok
+}
+
+// Start launches the scheduler workers.
+func (d *Daemon) Start(ctx context.Context) { d.pool.Start(ctx) }
+
+// Drain gracefully stops the scheduler: every in-flight quantum
+// finishes (refreshing its module's snapshot), then workers exit.
+// After Drain every enrolled module has a current checkpoint by
+// construction. If a state dir is configured, the fleet is persisted
+// to it.
+func (d *Daemon) Drain() error {
+	d.pool.Drain()
+	if d.cfg.StateDir == "" {
+		return nil
+	}
+	return d.SaveState()
+}
+
+// Run is the daemon main loop: start workers, wait for ctx
+// cancellation (SIGTERM in parbord), drain. The returned error is
+// from state persistence, not from module failures — those are
+// per-module status, visible in the rollup.
+func (d *Daemon) Run(ctx context.Context) error {
+	d.Start(ctx)
+	<-ctx.Done()
+	return d.Drain()
+}
+
+// Quiesce blocks until no module wants another quantum.
+func (d *Daemon) Quiesce() { d.pool.Quiesce() }
+
+// Rollup summarizes the current fleet.
+func (d *Daemon) Rollup() *Rollup { return BuildRollup(d.reg.List()) }
+
+// Report snapshots the daemon's fleet-level counters.
+func (d *Daemon) Report() *obs.Report { return d.col.Snapshot("parbord") }
+
+// Reconcile cross-checks the fleet-level counters against per-module
+// ground truth: the daemon's epoch counter must equal the sum of
+// epochs its modules ran under it, and every per-module obs report
+// must satisfy its own invariants. Call it only while the pool is
+// quiet (drained or quiesced); a running quantum legitimately has
+// counters in motion.
+func (d *Daemon) Reconcile() error {
+	rep := d.Report()
+	var wantEpochs uint64
+	for _, m := range d.reg.List() {
+		st := m.Snapshot().Scheduler
+		if ran := st.Epochs - m.baseEpochs; ran > 0 {
+			wantEpochs += uint64(ran)
+		}
+		if err := m.Report().Reconcile(); err != nil {
+			return fmt.Errorf("fleet: module %s: %w", m.ID(), err)
+		}
+	}
+	if got := rep.Counters[CounterEpochs]; got != wantEpochs {
+		return fmt.Errorf("fleet: reconcile: daemon counted %d epochs, modules ran %d", got, wantEpochs)
+	}
+	return nil
+}
+
+// statePath maps a module ID to its state file.
+func (d *Daemon) statePath(id string) string {
+	return filepath.Join(d.cfg.StateDir, id+".json")
+}
+
+// SaveState writes one StateEntry per enrolled module into StateDir,
+// and removes stale entries for modules no longer enrolled. Call only
+// while the pool is quiet: it reads each module's latest snapshot,
+// which is exactly the between-epochs state after a drain.
+func (d *Daemon) SaveState() error {
+	if d.cfg.StateDir == "" {
+		return fmt.Errorf("fleet: no state dir configured")
+	}
+	if err := os.MkdirAll(d.cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("fleet: creating state dir: %w", err)
+	}
+	live := make(map[string]bool)
+	for _, m := range d.reg.List() {
+		entry := StateEntry{Schema: StateSchema, Spec: m.Spec(), Snapshot: m.Snapshot()}
+		data, err := json.MarshalIndent(&entry, "", "  ")
+		if err != nil {
+			return fmt.Errorf("fleet: marshaling state for %s: %w", m.ID(), err)
+		}
+		path := d.statePath(m.ID())
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("fleet: writing state for %s: %w", m.ID(), err)
+		}
+		live[filepath.Base(path)] = true
+	}
+	names, err := os.ReadDir(d.cfg.StateDir)
+	if err != nil {
+		return fmt.Errorf("fleet: listing state dir: %w", err)
+	}
+	for _, e := range names {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && !live[e.Name()] {
+			if err := os.Remove(filepath.Join(d.cfg.StateDir, e.Name())); err != nil {
+				return fmt.Errorf("fleet: pruning state entry: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadState enrolls every entry found in StateDir. Entries are loaded
+// in filename order so two restarts of the same fleet see the same
+// enrollment order. Returns how many modules were enrolled.
+func (d *Daemon) LoadState() (int, error) {
+	if d.cfg.StateDir == "" {
+		return 0, fmt.Errorf("fleet: no state dir configured")
+	}
+	entries, err := os.ReadDir(d.cfg.StateDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("fleet: listing state dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	n := 0
+	for _, name := range names {
+		path := filepath.Join(d.cfg.StateDir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return n, fmt.Errorf("fleet: reading state entry %s: %w", name, err)
+		}
+		var entry StateEntry
+		if err := json.Unmarshal(data, &entry); err != nil {
+			return n, fmt.Errorf("fleet: parsing state entry %s: %w", name, err)
+		}
+		if entry.Schema != StateSchema {
+			return n, fmt.Errorf("fleet: state entry %s: unknown schema %q", name, entry.Schema)
+		}
+		if _, err := d.Enroll(entry.Spec, entry.Snapshot); err != nil {
+			return n, fmt.Errorf("fleet: resuming %s: %w", name, err)
+		}
+		n++
+	}
+	return n, nil
+}

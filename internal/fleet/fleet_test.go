@@ -1,0 +1,279 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"parbor/internal/chaos"
+	"parbor/internal/coupling"
+	"parbor/internal/faults"
+	"parbor/internal/memctl"
+	"parbor/internal/onlinetest"
+)
+
+// testSpec builds a small, fast, failure-bearing member: toy
+// scrambling, 2 chips x 1 bank x 8 rows x 64 cols, a 400 ms wait that
+// exceeds every victim's retention threshold, and a 4-epoch budget
+// (two full sweeps of the 16-row module at 8 rows per epoch).
+func testSpec(i int) ModuleSpec {
+	return ModuleSpec{
+		ID:     fmt.Sprintf("mod-%04d", i),
+		Vendor: "toy",
+		Chips:  2,
+		Banks:  1,
+		Rows:   8,
+		Cols:   64,
+		Seed:   uint64(1000 + i),
+		WaitMs: 400,
+		Coupling: coupling.Config{
+			VulnerableRate:  0.05,
+			StrongLeftFrac:  0.4,
+			StrongRightFrac: 0.4,
+			RetentionMinMs:  100,
+			RetentionMaxMs:  300,
+		},
+		Faults: faults.Config{WeakCellRate: 0.01},
+		Test: onlinetest.Config{
+			Distances:    []int{-1, 1},
+			ChunkBits:    16,
+			RowsPerEpoch: 8,
+			MaxRetries:   3,
+		},
+		MaxEpochs: 4,
+	}
+}
+
+// withChaos attaches a per-module fault plane: transient bus glitches
+// plus a kill/revive outage of chip 1. The testSpec module runs ~33
+// host attempts per epoch and epoch 2 (attempts 33..65) is the one
+// that tests chip 1's rows, so a [40, 44) window kills the chip
+// mid-epoch (it is quarantined — ErrChipDead is not transient) and
+// revives it before the epoch's restore pass, which still tries
+// quarantined chips and so recovers the live data.
+func withChaos(sp ModuleSpec, i int) ModuleSpec {
+	sp.Chaos = &chaos.Config{
+		Seed:           uint64(77 + i),
+		WriteFaultProb: 0.002,
+		ReadFaultProb:  0.002,
+		DeadChips:      []chaos.Window{{Chip: 1, From: 40, To: 44}},
+	}
+	return sp
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := testSpec(0)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ModuleSpec)
+	}{
+		{"empty id", func(sp *ModuleSpec) { sp.ID = "" }},
+		{"path id", func(sp *ModuleSpec) { sp.ID = "a/b" }},
+		{"dots id", func(sp *ModuleSpec) { sp.ID = ".." }},
+		{"unknown vendor", func(sp *ModuleSpec) { sp.Vendor = "vendorX" }},
+		{"zero geometry", func(sp *ModuleSpec) { sp.Rows = 0 }},
+		{"negative chips", func(sp *ModuleSpec) { sp.Chips = -1 }},
+		{"negative wait", func(sp *ModuleSpec) { sp.WaitMs = -1 }},
+		{"negative budget", func(sp *ModuleSpec) { sp.MaxEpochs = -1 }},
+		{"no distances", func(sp *ModuleSpec) { sp.Test.Distances = nil }},
+		{"bad chaos", func(sp *ModuleSpec) {
+			sp.Chaos = &chaos.Config{WriteFaultProb: 2}
+		}},
+	}
+	for _, tc := range cases {
+		sp := testSpec(0)
+		tc.mutate(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%s: spec accepted", tc.name)
+		}
+	}
+}
+
+func TestRegistryDuplicateAndRetire(t *testing.T) {
+	d := NewDaemon(Config{Workers: 1})
+	if _, err := d.Enroll(testSpec(1), nil); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	if _, err := d.Enroll(testSpec(1), nil); err == nil {
+		t.Fatalf("duplicate enrollment accepted")
+	}
+	m, ok := d.Registry().Get("mod-0001")
+	if !ok {
+		t.Fatalf("module not registered")
+	}
+	if !d.Retire("mod-0001") {
+		t.Fatalf("retire failed")
+	}
+	if d.Retire("mod-0001") {
+		t.Fatalf("double retire succeeded")
+	}
+	if m.Status() != StatusRetired {
+		t.Fatalf("retired module has status %s", m.Status())
+	}
+	// A retired module handed to a worker is dropped, not run.
+	if m.RunQuantum(context.Background()) {
+		t.Fatalf("retired module asked to be rescheduled")
+	}
+	if got := m.Snapshot().Scheduler.Epochs; got != 0 {
+		t.Fatalf("retired module ran %d epochs", got)
+	}
+}
+
+func TestFleetRunsToBudget(t *testing.T) {
+	d := NewDaemon(Config{Workers: 4})
+	const n = 32
+	for i := 0; i < n; i++ {
+		sp := testSpec(i)
+		if i%3 == 0 {
+			sp = withChaos(sp, i)
+		}
+		if _, err := d.Enroll(sp, nil); err != nil {
+			t.Fatalf("enroll %d: %v", i, err)
+		}
+	}
+	d.Start(context.Background())
+	d.Quiesce()
+	d.Pool().Drain()
+
+	foundFailures := false
+	for _, m := range d.Registry().List() {
+		if m.Status() != StatusDone {
+			t.Fatalf("module %s finished with status %s (err %v)", m.ID(), m.Status(), m.Err())
+		}
+		st := m.Snapshot().Scheduler
+		if st.Epochs != 4 {
+			t.Fatalf("module %s ran %d epochs, want 4", m.ID(), st.Epochs)
+		}
+		if len(st.EverSeen) > 0 {
+			foundFailures = true
+		}
+	}
+	if !foundFailures {
+		t.Fatalf("no module found any failures; fleet test is vacuous")
+	}
+	if err := d.Reconcile(); err != nil {
+		t.Fatalf("reconcile: %v", err)
+	}
+
+	r := d.Rollup()
+	if r.Modules != n || r.Done != n || r.Epochs != 4*n {
+		t.Fatalf("rollup counts off: %+v", r)
+	}
+	if r.FailingModules == 0 || r.Failures == 0 {
+		t.Fatalf("rollup lost the failures: %+v", r)
+	}
+	var vendorMods int
+	for _, vr := range r.ByVendor {
+		vendorMods += vr.Modules
+	}
+	if vendorMods != n {
+		t.Fatalf("vendor breakdown covers %d of %d modules", vendorMods, n)
+	}
+}
+
+func TestPoolDrainKeepsQueueAndRestarts(t *testing.T) {
+	d := NewDaemon(Config{Workers: 2})
+	for i := 0; i < 8; i++ {
+		if _, err := d.Enroll(testSpec(100+i), nil); err != nil {
+			t.Fatalf("enroll: %v", err)
+		}
+	}
+	// Drain before starting: nothing runs, everything stays queued,
+	// and every module already has its enrollment snapshot.
+	d.Pool().Drain()
+	for _, m := range d.Registry().List() {
+		if m.Snapshot() == nil {
+			t.Fatalf("module %s has no snapshot before first quantum", m.ID())
+		}
+	}
+	// Restart and run to completion.
+	d.Start(context.Background())
+	d.Quiesce()
+	d.Pool().Drain()
+	for _, m := range d.Registry().List() {
+		if m.Status() != StatusDone {
+			t.Fatalf("module %s not done after restart: %s", m.ID(), m.Status())
+		}
+	}
+}
+
+func TestClassifyModes(t *testing.T) {
+	addr := func(chip, bank, row, col int) memctl.BitAddr {
+		return memctl.BitAddr{Chip: int16(chip), Bank: int16(bank), Row: int32(row), Col: int32(col)}
+	}
+	cases := []struct {
+		name  string
+		fails []memctl.BitAddr
+		want  map[string]int
+	}{
+		{"single bit", []memctl.BitAddr{addr(0, 0, 3, 7)},
+			map[string]int{ModeSingleBit: 1}},
+		{"single row", []memctl.BitAddr{addr(0, 0, 3, 7), addr(0, 0, 3, 9), addr(0, 0, 3, 40)},
+			map[string]int{ModeSingleRow: 1}},
+		{"single column", []memctl.BitAddr{addr(0, 0, 1, 7), addr(0, 0, 5, 7)},
+			map[string]int{ModeSingleColumn: 1}},
+		{"multi cell", []memctl.BitAddr{addr(0, 0, 1, 7), addr(0, 0, 5, 9)},
+			map[string]int{ModeMultiCell: 1}},
+		{"mixed banks and chips", []memctl.BitAddr{
+			addr(0, 0, 1, 1),                   // single bit in (0,0)
+			addr(0, 1, 2, 3), addr(0, 1, 2, 8), // single row in (0,1)
+			addr(1, 0, 4, 4), addr(1, 0, 9, 4), // single column in (1,0)
+		}, map[string]int{ModeSingleBit: 1, ModeSingleRow: 1, ModeSingleColumn: 1}},
+	}
+	for _, tc := range cases {
+		got := make(map[string]int)
+		classifyModes(tc.fails, got)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDaemon(Config{Workers: 2, StateDir: dir})
+	for i := 0; i < 6; i++ {
+		if _, err := d.Enroll(testSpec(200+i), nil); err != nil {
+			t.Fatalf("enroll: %v", err)
+		}
+	}
+	d.Start(context.Background())
+	d.Quiesce()
+	if err := d.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	d2 := NewDaemon(Config{Workers: 2, StateDir: dir})
+	n, err := d2.LoadState()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if n != 6 {
+		t.Fatalf("loaded %d modules, want 6", n)
+	}
+	for _, m2 := range d2.Registry().List() {
+		m1, ok := d.Registry().Get(m2.ID())
+		if !ok {
+			t.Fatalf("loaded unknown module %s", m2.ID())
+		}
+		if m2.Status() != StatusDone {
+			t.Fatalf("completed module %s resumed as %s", m2.ID(), m2.Status())
+		}
+		if !reflect.DeepEqual(m1.Snapshot().Scheduler, m2.Snapshot().Scheduler) {
+			t.Fatalf("module %s state drifted across save/load", m2.ID())
+		}
+	}
+	// A retire followed by a save prunes the entry.
+	d.Retire("mod-0203")
+	if err := d.SaveState(); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	d3 := NewDaemon(Config{Workers: 1, StateDir: dir})
+	if n, err := d3.LoadState(); err != nil || n != 5 {
+		t.Fatalf("after prune: loaded %d, err %v; want 5, nil", n, err)
+	}
+}

@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the fleet's membership table: enrolled modules by ID,
+// with enrollment order preserved so listings and persisted state are
+// stable. It is safe for concurrent use; it holds no scheduling state
+// (that is the Pool's job) and no simulation state (the Module's).
+type Registry struct {
+	mu    sync.Mutex
+	byID  map[string]*Module
+	order []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*Module)}
+}
+
+// Add enrolls a module, rejecting duplicate IDs.
+func (r *Registry) Add(m *Module) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := m.ID()
+	if _, ok := r.byID[id]; ok {
+		return fmt.Errorf("fleet: module %s already enrolled", id)
+	}
+	r.byID[id] = m
+	r.order = append(r.order, id)
+	return nil
+}
+
+// Get looks a module up by ID.
+func (r *Registry) Get(id string) (*Module, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.byID[id]
+	return m, ok
+}
+
+// Remove retires and forgets a module. It reports whether the ID was
+// enrolled. The module object stays valid — an in-flight quantum
+// finishes and drops it.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	m, ok := r.byID[id]
+	if ok {
+		delete(r.byID, id)
+		for i, v := range r.order {
+			if v == id {
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+	if ok {
+		m.retire()
+	}
+	return ok
+}
+
+// List returns the enrolled modules in enrollment order.
+func (r *Registry) List() []*Module {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Module, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.byID[id])
+	}
+	return out
+}
+
+// Len returns the number of enrolled modules.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// IDs returns the enrolled IDs, sorted, for deterministic diagnostics.
+func (r *Registry) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"parbor/internal/memctl"
+)
+
+// RollupSchema identifies the fleet rollup JSON layout.
+const RollupSchema = "parbor/fleet-rollup/v1"
+
+// Fault-mode labels, following the taxonomy of the DDR4 field studies
+// (single-bit / single-row / single-column / whole-bank populations).
+// Classification is per (chip, bank) failure group within a module.
+const (
+	ModeSingleBit    = "single_bit"
+	ModeSingleRow    = "single_row"
+	ModeSingleColumn = "single_column"
+	ModeMultiCell    = "multi_cell"
+)
+
+// VendorRollup aggregates one vendor's slice of the fleet.
+type VendorRollup struct {
+	Modules        int            `json:"modules"`
+	FailingModules int            `json:"failing_modules"`
+	Failures       int            `json:"failures"`
+	ByMode         map[string]int `json:"by_mode,omitempty"`
+}
+
+// Rollup is the fleet-wide failure summary served by GET /v1/rollup.
+// It is computed from checkpoint snapshots — the immutable
+// between-epoch state — so building it never blocks a running
+// quantum.
+type Rollup struct {
+	Schema string `json:"schema"`
+	// Population counts.
+	Modules int `json:"modules"`
+	Idle    int `json:"idle"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	// Progress and failure totals across the fleet.
+	Epochs         int `json:"epochs"`
+	FailingModules int `json:"failing_modules"`
+	Failures       int `json:"failures"`
+	Quarantined    int `json:"quarantined_chips"`
+	Retries        int `json:"retries"`
+	// Breakdown by vendor profile and by fault mode.
+	ByVendor map[string]*VendorRollup `json:"by_vendor,omitempty"`
+	ByMode   map[string]int           `json:"by_mode,omitempty"`
+}
+
+// classifyModes buckets a module's ever-seen failures into fault
+// modes. Grouping is per (chip, bank): a group with one bit is a
+// single-bit fault; a multi-bit group confined to one row (column) is
+// a single-row (single-column) fault; anything else is a scattered
+// multi-cell population. Each group contributes one count to its
+// mode.
+func classifyModes(fails []memctl.BitAddr, into map[string]int) {
+	type bankKey struct{ chip, bank int16 }
+	type bankAgg struct {
+		n         int
+		row, col  int32
+		oneRow    bool
+		oneCol    bool
+		haveFirst bool
+	}
+	groups := make(map[bankKey]*bankAgg)
+	for _, f := range fails {
+		k := bankKey{f.Chip, f.Bank}
+		g := groups[k]
+		if g == nil {
+			g = &bankAgg{oneRow: true, oneCol: true}
+			groups[k] = g
+		}
+		if !g.haveFirst {
+			g.row, g.col, g.haveFirst = f.Row, f.Col, true
+		} else {
+			if f.Row != g.row {
+				g.oneRow = false
+			}
+			if f.Col != g.col {
+				g.oneCol = false
+			}
+		}
+		g.n++
+	}
+	for _, g := range groups {
+		switch {
+		case g.n == 1:
+			into[ModeSingleBit]++
+		case g.oneRow:
+			into[ModeSingleRow]++
+		case g.oneCol:
+			into[ModeSingleColumn]++
+		default:
+			into[ModeMultiCell]++
+		}
+	}
+}
+
+// BuildRollup summarizes a set of modules. Exposed as a function (not
+// only via the daemon) so tests and offline tools can roll up
+// persisted state.
+func BuildRollup(mods []*Module) *Rollup {
+	r := &Rollup{
+		Schema:   RollupSchema,
+		ByVendor: make(map[string]*VendorRollup),
+		ByMode:   make(map[string]int),
+	}
+	for _, m := range mods {
+		r.Modules++
+		switch m.Status() {
+		case StatusRunning:
+			r.Running++
+		case StatusDone:
+			r.Done++
+		case StatusFailed:
+			r.Failed++
+		default:
+			r.Idle++
+		}
+		snap := m.Snapshot()
+		st := snap.Scheduler
+		vr := r.ByVendor[m.Spec().Vendor]
+		if vr == nil {
+			vr = &VendorRollup{ByMode: make(map[string]int)}
+			r.ByVendor[m.Spec().Vendor] = vr
+		}
+		vr.Modules++
+		r.Epochs += st.Epochs
+		r.Retries += st.Retries
+		r.Quarantined += len(st.Quarantined)
+		if n := len(st.EverSeen); n > 0 {
+			r.FailingModules++
+			vr.FailingModules++
+			r.Failures += n
+			vr.Failures += n
+			classifyModes(st.EverSeen, r.ByMode)
+			classifyModes(st.EverSeen, vr.ByMode)
+		}
+	}
+	return r
+}

@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSoakThousandModulesDrainResume is the fleet acceptance test: a
+// parbord-shaped daemon enrolls 1,000 modules (a third with chaos
+// kill/revive planes), drives them concurrently under the bounded
+// worker pool, is drained mid-run the way SIGTERM drains parbord, and
+// a second daemon resumed from the persisted state finishes the work.
+// Every module's final failure set must be bit-identical to an
+// uninterrupted reference fleet's. Run it under -race at GOMAXPROCS=8
+// (the CI matrix does) to also make it a scheduler race soak.
+func TestSoakThousandModulesDrainResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const n = 1000
+	specs := make([]ModuleSpec, n)
+	for i := range specs {
+		sp := testSpec(i)
+		if i%3 == 0 {
+			sp = withChaos(sp, i)
+		}
+		specs[i] = sp
+	}
+
+	// Reference fleet: uninterrupted run to quiescence.
+	ref := NewDaemon(Config{Workers: 8})
+	for _, sp := range specs {
+		if _, err := ref.Enroll(sp, nil); err != nil {
+			t.Fatalf("ref enroll %s: %v", sp.ID, err)
+		}
+	}
+	ref.Start(context.Background())
+	ref.Quiesce()
+	ref.Pool().Drain()
+	if err := ref.Reconcile(); err != nil {
+		t.Fatalf("ref reconcile: %v", err)
+	}
+
+	// Interrupted fleet: drain mid-run (parbord's SIGTERM path is
+	// exactly this — cancel the run context, Daemon.Run drains and
+	// persists).
+	dir := t.TempDir()
+	d1 := NewDaemon(Config{Workers: 8, StateDir: dir})
+	for _, sp := range specs {
+		if _, err := d1.Enroll(sp, nil); err != nil {
+			t.Fatalf("d1 enroll %s: %v", sp.ID, err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d1.Run(ctx) }()
+	// Let the fleet get partway through its 4000 epochs, then pull
+	// the plug.
+	deadline := time.Now().Add(30 * time.Second)
+	for d1.Report().Counters[CounterEpochs] < 500 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet stuck: only %d epochs", d1.Report().Counters[CounterEpochs])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Post-drain invariants: nothing is mid-epoch, and every module —
+	// finished or not — holds a current checkpoint.
+	unfinished := 0
+	for _, m := range d1.Registry().List() {
+		switch m.Status() {
+		case StatusRunning:
+			t.Fatalf("module %s still running after drain", m.ID())
+		case StatusFailed:
+			t.Fatalf("module %s failed: %v", m.ID(), m.Err())
+		case StatusDone:
+		default:
+			unfinished++
+		}
+		if m.Snapshot() == nil {
+			t.Fatalf("module %s drained without a checkpoint", m.ID())
+		}
+	}
+	if unfinished == 0 {
+		t.Fatalf("drain landed after fleet completion; resume test is vacuous")
+	}
+	t.Logf("drained with %d/%d modules unfinished", unfinished, n)
+
+	// Resumed fleet: load the persisted state and run to quiescence.
+	d2 := NewDaemon(Config{Workers: 8, StateDir: dir})
+	if got, err := d2.LoadState(); err != nil || got != n {
+		t.Fatalf("resume loaded %d modules, err %v; want %d, nil", got, err, n)
+	}
+	d2.Start(context.Background())
+	d2.Quiesce()
+	d2.Pool().Drain()
+	if err := d2.Reconcile(); err != nil {
+		t.Fatalf("resumed reconcile: %v", err)
+	}
+	if d2.Report().Counters[CounterEpochs] == 0 {
+		t.Fatalf("resumed daemon ran no epochs")
+	}
+
+	// Bit-identity: every module's post-resume state matches the
+	// uninterrupted reference exactly — failure sets, quarantine
+	// decisions, retry totals, epoch counts.
+	sawChaosQuarantine := false
+	for _, m2 := range d2.Registry().List() {
+		m1, ok := ref.Registry().Get(m2.ID())
+		if !ok {
+			t.Fatalf("resumed fleet has unknown module %s", m2.ID())
+		}
+		if m2.Status() != StatusDone {
+			t.Fatalf("module %s did not finish after resume: %s (err %v)", m2.ID(), m2.Status(), m2.Err())
+		}
+		st1, st2 := m1.Snapshot().Scheduler, m2.Snapshot().Scheduler
+		if !reflect.DeepEqual(st1.EverSeen, st2.EverSeen) {
+			t.Fatalf("module %s: failure set diverged after resume (%d vs %d bits)",
+				m2.ID(), len(st1.EverSeen), len(st2.EverSeen))
+		}
+		if st1.Epochs != st2.Epochs || st1.Retries != st2.Retries ||
+			!reflect.DeepEqual(st1.Quarantined, st2.Quarantined) {
+			t.Fatalf("module %s: progress diverged: epochs %d/%d retries %d/%d quarantined %v/%v",
+				m2.ID(), st1.Epochs, st2.Epochs, st1.Retries, st2.Retries,
+				st1.Quarantined, st2.Quarantined)
+		}
+		if len(st2.Quarantined) > 0 {
+			sawChaosQuarantine = true
+		}
+	}
+	if !sawChaosQuarantine {
+		t.Fatalf("no module quarantined a chip; the kill/revive plane never bit")
+	}
+
+	// The two fleets' rollups must agree wherever state is compared
+	// (population status counts trivially match — everything is done).
+	r1, r2 := ref.Rollup(), d2.Rollup()
+	if r1.Failures != r2.Failures || r1.FailingModules != r2.FailingModules ||
+		!reflect.DeepEqual(r1.ByMode, r2.ByMode) || !reflect.DeepEqual(r1.ByVendor, r2.ByVendor) {
+		t.Fatalf("rollups diverged:\nref:     %+v\nresumed: %+v", r1, r2)
+	}
+}

@@ -133,6 +133,10 @@ type Host struct {
 	// which counts only completed tests (the paper's metric).
 	attempts int
 
+	// lastMask is the geometry's LastWordMask, cached so the compare
+	// hot loops never recompute it per row.
+	lastMask uint64
+
 	// Per-chip buffers: chip i is only ever touched by the one worker
 	// that owns it during a pass, so indexing by chip makes the
 	// buffers race-free without locking.
@@ -219,6 +223,7 @@ func NewHostWithConfig(mod *dram.Module, cfg HostConfig) (*Host, error) {
 		par:         cfg.Parallelism,
 		rec:         cfg.Recorder,
 		plane:       cfg.Faults,
+		lastMask:    mod.Geometry().LastWordMask(),
 		chipScratch: make([][]uint64, chips),
 		chipPattern: make([][]uint64, chips),
 		byChip:      make([][]int, chips),
@@ -257,6 +262,24 @@ func (h *Host) Passes() int { return h.passes }
 
 // WaitMs returns the configured retention wait in milliseconds.
 func (h *Host) WaitMs() float64 { return h.waitMs }
+
+// Attempts returns the host's attempt counter: the entropy an
+// attached FaultPlane keys its draws on. A checkpoint that records it
+// (parbor/checkpoint/v1 HostAttempts) lets a resumed host replay the
+// exact fault schedule an uninterrupted run would have seen.
+func (h *Host) Attempts() int { return h.attempts }
+
+// SetAttempts restores an attempt counter captured by Attempts on a
+// freshly constructed host, before any pass is issued. Without it a
+// resumed host restarts its fault-plane draws from attempt 0 and a
+// chaos-injected run diverges from its uninterrupted twin.
+func (h *Host) SetAttempts(n int) error {
+	if n < 0 {
+		return fmt.Errorf("memctl: negative attempt counter %d", n)
+	}
+	h.attempts = n
+	return nil
+}
 
 // Recorder returns the recorder this host reports to (nil when none
 // was configured), so layers built on the host — retry, quarantine,
@@ -612,7 +635,7 @@ func (h *Host) readRowsShard(chip int) error {
 			}
 		}
 		c.ReadRow(s.rows[i].Bank, s.rows[i].Row, scratch)
-		h.perIndex[i] = appendMismatches(h.perIndex[i][:0], s.rows[i], s.data[i], scratch)
+		h.perIndex[i] = appendMismatches(h.perIndex[i][:0], s.rows[i], s.data[i], scratch, h.lastMask)
 	}
 	return nil
 }
@@ -895,7 +918,7 @@ func (h *Host) readFullShard(chip int) error {
 			}
 			want := s.src(r)
 			c.ReadRow(bank, row, scratch)
-			fails = appendMismatches(fails, r, want, scratch)
+			fails = appendMismatches(fails, r, want, scratch, h.lastMask)
 		}
 	}
 	h.perChip[chip] = fails
@@ -904,11 +927,17 @@ func (h *Host) readFullShard(chip int) error {
 
 // appendMismatches diffs the read-back buffer got against want and
 // appends one BitAddr per flipped bit, in ascending column order.
+// lastMask is the geometry's LastWordMask: when Cols is not a
+// multiple of 64, the padding bits of the final word carry whatever
+// the writer left there and must never surface as failures.
 //
 //parbor:hotpath
-func appendMismatches(fails []BitAddr, r Row, want, got []uint64) []BitAddr {
+func appendMismatches(fails []BitAddr, r Row, want, got []uint64, lastMask uint64) []BitAddr {
 	for w, g := range got {
 		diff := g ^ want[w]
+		if w == len(got)-1 {
+			diff &= lastMask
+		}
 		for diff != 0 {
 			bit := bits.TrailingZeros64(diff)
 			fails = append(fails, BitAddr{

@@ -121,6 +121,12 @@ type Scheduler struct {
 	quarantined map[int]struct{}
 	retries     int
 	degraded    int
+
+	// epochs counts successfully completed epochs. It is the
+	// scheduler's schedulable-unit clock: the fleet layer (package
+	// fleet) budgets and compares runs in epochs, and a resumed
+	// scheduler must continue the count rather than restart it.
+	epochs int
 }
 
 // New builds a scheduler.
@@ -326,6 +332,7 @@ func (s *Scheduler) RunEpochCtx(ctx context.Context) (result *EpochResult, err e
 		res.SweepCompleted = true
 		s.sweepSeen = make(map[memctl.BitAddr]struct{})
 	}
+	s.epochs++
 	return res, nil
 }
 
@@ -465,6 +472,10 @@ func (s *Scheduler) Coverage() float64 {
 
 // Rounds returns the number of completed full-module sweeps.
 func (s *Scheduler) Rounds() int { return s.rounds }
+
+// Epochs returns the number of successfully completed epochs,
+// including those before a checkpoint/resume.
+func (s *Scheduler) Epochs() int { return s.epochs }
 
 // Failures returns every failure observed in any epoch.
 func (s *Scheduler) Failures() map[memctl.BitAddr]struct{} {

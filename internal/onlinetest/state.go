@@ -30,6 +30,9 @@ type State struct {
 	// the interruption.
 	Retries        int `json:"retries,omitempty"`
 	DegradedEpochs int `json:"degraded_epochs,omitempty"`
+	// Epochs is the completed-epoch count, the unit the fleet
+	// scheduler budgets in.
+	Epochs int `json:"epochs,omitempty"`
 }
 
 // State exports the scheduler's progress. The returned value shares
@@ -47,6 +50,7 @@ func (s *Scheduler) State() State {
 		Quarantined:    s.Quarantined(),
 		Retries:        s.retries,
 		DegradedEpochs: s.degraded,
+		Epochs:         s.epochs,
 	}
 }
 
@@ -62,7 +66,7 @@ func Resume(host *memctl.Host, st State) (*Scheduler, error) {
 	if st.Cursor < 0 || st.Cursor >= len(s.rows) {
 		return nil, fmt.Errorf("onlinetest: resume cursor %d outside module's %d rows", st.Cursor, len(s.rows))
 	}
-	if st.Rounds < 0 || st.Tests < 0 || st.Retries < 0 || st.DegradedEpochs < 0 {
+	if st.Rounds < 0 || st.Tests < 0 || st.Retries < 0 || st.DegradedEpochs < 0 || st.Epochs < 0 {
 		return nil, fmt.Errorf("onlinetest: negative resume progress counters")
 	}
 	s.cursor = st.Cursor
@@ -70,6 +74,7 @@ func Resume(host *memctl.Host, st State) (*Scheduler, error) {
 	s.tests = st.Tests
 	s.retries = st.Retries
 	s.degraded = st.DegradedEpochs
+	s.epochs = st.Epochs
 	for _, a := range st.EverSeen {
 		s.everSeen[a] = struct{}{}
 	}
