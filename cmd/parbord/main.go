@@ -55,6 +55,7 @@ func main() {
 		enroll    = flag.String("enroll", "", "enroll modules from this JSON file (array of fleet state entries)")
 		runToIdle = flag.Bool("run-to-idle", false, "exit when the fleet quiesces instead of waiting for a signal")
 		rollup    = flag.Bool("rollup", false, "print the final fleet rollup JSON to stdout on exit")
+		logDir    = flag.String("log-dir", "", "append failure events to the fleetlog in this directory (serves GET /v1/analytics)")
 	)
 	flag.Parse()
 
@@ -68,6 +69,7 @@ func main() {
 		enroll:    *enroll,
 		runToIdle: *runToIdle,
 		rollup:    *rollup,
+		logDir:    *logDir,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "parbord: %v\n", err)
 		os.Exit(1)
@@ -82,13 +84,22 @@ type options struct {
 	enroll    string
 	runToIdle bool
 	rollup    bool
+	logDir    string
 }
 
 func run(ctx context.Context, opts options) error {
 	if opts.resume && opts.stateDir == "" {
 		return errors.New("-resume needs -state")
 	}
-	d := fleet.NewDaemon(fleet.Config{Workers: opts.workers, StateDir: opts.stateDir})
+	d, err := fleet.NewDaemon(fleet.Config{
+		Workers:  opts.workers,
+		StateDir: opts.stateDir,
+		LogDir:   opts.logDir,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
 
 	if opts.resume {
 		n, err := d.LoadState()
@@ -134,14 +145,9 @@ func run(ctx context.Context, opts options) error {
 	}
 
 	// Graceful drain: every in-flight epoch completes, every module is
-	// left with a current checkpoint, and (with -state) the fleet is
-	// persisted.
-	var drainErr error
-	if opts.stateDir != "" {
-		drainErr = d.Drain()
-	} else {
-		d.Pool().Drain()
-	}
+	// left with a current checkpoint, the event log (with -log-dir) is
+	// synced, and (with -state) the fleet is persisted.
+	drainErr := d.Drain()
 	fmt.Fprintf(os.Stderr, "parbord: drained; %d modules enrolled\n", d.Registry().Len())
 
 	if srv != nil {

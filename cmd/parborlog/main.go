@@ -1,0 +1,141 @@
+// Command parborlog is the offline analyzer for parbord's failure
+// event log (-log-dir): it folds an append-only fleetlog directory —
+// arbitrarily many daemon incarnations' worth of epochs, including
+// torn tails from crashes — into the parbor/fleetlog-rollup/v1
+// fault-mode classification, without ever holding the event stream in
+// memory.
+//
+// Usage:
+//
+//	parborlog -dir /var/lib/parbord/log              # rollup JSON to stdout
+//	parborlog -dir /var/lib/parbord/log -dump        # raw events, JSON lines
+//	parborlog -dir /var/lib/parbord/log -compact out # rewrite minus torn tails
+//
+// -mem-budget bounds the classifier's in-memory key set; past it,
+// sorted runs spill to -spill (default: a temp dir) and are k-way
+// merged, so a log of any size classifies in bounded memory. The
+// rollup is a pure function of the event set: order, duplicated
+// replays, segment boundaries, and the memory budget cannot change a
+// byte of the output.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"parbor/internal/fleetlog"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", "", "fleetlog directory to analyze (required)")
+		dump      = flag.Bool("dump", false, "print raw events as JSON lines instead of the rollup")
+		compact   = flag.String("compact", "", "rewrite the log into this directory (drops torn tails) instead of analyzing")
+		memBudget = flag.Int("mem-budget", 0, "classifier in-memory key budget before spilling (0 = default)")
+		spill     = flag.String("spill", "", "directory for spill runs (empty = temp dir)")
+		segBytes  = flag.Int64("segment-bytes", 0, "segment size for -compact output (0 = default)")
+	)
+	flag.Parse()
+
+	if err := run(context.Background(), options{
+		dir:       *dir,
+		dump:      *dump,
+		compact:   *compact,
+		memBudget: *memBudget,
+		spill:     *spill,
+		segBytes:  *segBytes,
+	}, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "parborlog: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	dir       string
+	dump      bool
+	compact   string
+	memBudget int
+	spill     string
+	segBytes  int64
+}
+
+func run(ctx context.Context, opts options, stdout io.Writer) error {
+	if opts.dir == "" {
+		return errors.New("-dir is required")
+	}
+	if opts.dump && opts.compact != "" {
+		return errors.New("-dump and -compact are mutually exclusive")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	switch {
+	case opts.compact != "":
+		return runCompact(opts, stdout)
+	case opts.dump:
+		return runDump(opts, stdout)
+	default:
+		return runRollup(opts, stdout)
+	}
+}
+
+// runRollup streams the log through the out-of-core classifier and
+// prints the rollup.
+func runRollup(opts options, stdout io.Writer) error {
+	r, err := fleetlog.Analyze(opts.dir, fleetlog.ClassifierConfig{
+		MaxKeys:  opts.memBudget,
+		SpillDir: opts.spill,
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, r)
+}
+
+// runDump prints every intact event as one JSON object per line, plus
+// a trailing truncation report on stderr when the log has torn tails.
+func runDump(opts options, stdout io.Writer) error {
+	it, err := fleetlog.OpenIter(opts.dir)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	enc := json.NewEncoder(stdout)
+	for {
+		ev, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	for _, tr := range it.Truncations() {
+		fmt.Fprintf(os.Stderr, "parborlog: torn tail in %s at byte %d (recovered)\n", tr.Segment, tr.CleanBytes)
+	}
+	return nil
+}
+
+// runCompact rewrites the log into a fresh directory and prints the
+// stats.
+func runCompact(opts options, stdout io.Writer) error {
+	stats, err := fleetlog.Compact(opts.dir, opts.compact, fleetlog.WriterOptions{SegmentBytes: opts.segBytes})
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, stats)
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parbor/internal/fleetlog"
+	"parbor/internal/memctl"
+)
+
+// writeLog builds a small log directory with a known failure
+// population: mod-a has a permanent single-bit fault (seen in epochs 1
+// and 2), mod-b a transient single-row fault, mod-c is clean.
+func writeLog(t *testing.T, dir string) {
+	t.Helper()
+	w, err := fleetlog.OpenWriter(dir, fleetlog.WriterOptions{})
+	if err != nil {
+		t.Fatalf("OpenWriter: %v", err)
+	}
+	a := func(row, col int) memctl.BitAddr {
+		return memctl.BitAddr{Row: int32(row), Col: int32(col)}
+	}
+	for _, ev := range []fleetlog.Event{
+		{Module: "mod-a", Epoch: 1, Fails: []memctl.BitAddr{a(3, 7)}},
+		{Module: "mod-a", Epoch: 2, Fails: []memctl.BitAddr{a(3, 7)}},
+		{Module: "mod-b", Epoch: 1, Fails: []memctl.BitAddr{a(5, 1), a(5, 9)}},
+		{Module: "mod-c", Epoch: 1},
+	} {
+		if err := w.Append(ev); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestRunRollup(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir)
+	var out bytes.Buffer
+	if err := run(context.Background(), options{dir: dir}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var r fleetlog.Rollup
+	if err := json.Unmarshal(out.Bytes(), &r); err != nil {
+		t.Fatalf("rollup output is not JSON: %v\n%s", err, out.String())
+	}
+	if r.Schema != fleetlog.RollupSchema {
+		t.Errorf("schema %q", r.Schema)
+	}
+	if r.Modules != 3 || r.FailingModules != 2 || r.Failures != 3 {
+		t.Errorf("rollup counts off: %+v", r)
+	}
+	if r.Permanent != 1 || r.Transient != 2 {
+		t.Errorf("permanence split off: %+v", r)
+	}
+	if r.ByMode[fleetlog.ModeSingleBit] != 1 || r.ByMode[fleetlog.ModeSingleRow] != 1 {
+		t.Errorf("mode split off: %v", r.ByMode)
+	}
+}
+
+func TestRunRollupTinyMemBudget(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir)
+	var big, small bytes.Buffer
+	if err := run(context.Background(), options{dir: dir}, &big); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// A 2-key budget forces spill-and-merge on nearly every add; the
+	// output must not change by a byte.
+	if err := run(context.Background(), options{dir: dir, memBudget: 2, spill: t.TempDir()}, &small); err != nil {
+		t.Fatalf("run with tiny budget: %v", err)
+	}
+	if big.String() != small.String() {
+		t.Errorf("memory budget changed the rollup:\n%s\nvs\n%s", big.String(), small.String())
+	}
+}
+
+func TestRunDump(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir)
+	var out bytes.Buffer
+	if err := run(context.Background(), options{dir: dir, dump: true}, &out); err != nil {
+		t.Fatalf("run -dump: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("dumped %d lines, want 4:\n%s", len(lines), out.String())
+	}
+	var ev fleetlog.Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("dump line is not JSON: %v", err)
+	}
+	if ev.Module != "mod-a" || ev.Epoch != 1 {
+		t.Errorf("first dumped event drifted: %+v", ev)
+	}
+}
+
+func TestRunCompact(t *testing.T) {
+	dir, dst := t.TempDir(), filepath.Join(t.TempDir(), "out")
+	writeLog(t, dir)
+	var out bytes.Buffer
+	if err := run(context.Background(), options{dir: dir, compact: dst}, &out); err != nil {
+		t.Fatalf("run -compact: %v", err)
+	}
+	var stats fleetlog.CompactStats
+	if err := json.Unmarshal(out.Bytes(), &stats); err != nil {
+		t.Fatalf("compact stats output: %v", err)
+	}
+	if stats.Events != 4 || stats.Truncations != 0 {
+		t.Errorf("compact stats off: %+v", stats)
+	}
+	if entries, err := os.ReadDir(dst); err != nil || len(entries) == 0 {
+		t.Errorf("compacted log missing: %v (%d entries)", err, len(entries))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), options{}, &out); err == nil {
+		t.Error("missing -dir accepted")
+	}
+	if err := run(context.Background(), options{dir: "x", dump: true, compact: "y"}, &out); err == nil {
+		t.Error("-dump with -compact accepted")
+	}
+	if err := run(context.Background(), options{dir: filepath.Join(t.TempDir(), "nope")}, &out); err == nil {
+		t.Error("missing log dir accepted")
+	}
+}

@@ -22,6 +22,7 @@ import (
 //	GET    /v1/modules/{id}/report     parbor/report/v1 for the module
 //	GET    /v1/modules/{id}/checkpoint parbor/checkpoint/v1 snapshot
 //	GET    /v1/rollup                  fleet-wide failure rollup
+//	GET    /v1/analytics               event-log fault-mode analytics
 //	GET    /v1/report                  daemon's own parbor/report/v1
 //
 // Everything is JSON; errors are {"error": "..."} with a 4xx/5xx
@@ -96,6 +97,18 @@ func (d *Daemon) Handler() http.Handler {
 	}))
 	mux.HandleFunc("GET /v1/rollup", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Rollup())
+	})
+	mux.HandleFunc("GET /v1/analytics", func(w http.ResponseWriter, r *http.Request) {
+		if d.cfg.LogDir == "" {
+			writeError(w, http.StatusNotFound, errors.New("fleet: no event log configured (run with -log-dir)"))
+			return
+		}
+		ru, err := d.Analytics()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ru)
 	})
 	mux.HandleFunc("GET /v1/report", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Report())

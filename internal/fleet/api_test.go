@@ -16,7 +16,7 @@ import (
 // over httptest.
 func apiFleet(t *testing.T) (*Daemon, *httptest.Server) {
 	t.Helper()
-	d := NewDaemon(Config{Workers: 2})
+	d := newDaemon(t, Config{Workers: 2})
 	d.Start(context.Background())
 	srv := httptest.NewServer(d.Handler())
 	t.Cleanup(func() {
@@ -217,5 +217,127 @@ func TestAPIRetireMidRun(t *testing.T) {
 	getJSON(t, srv.URL+"/v1/rollup", &ru)
 	if ru.Modules != 0 {
 		t.Fatalf("rollup still counts retired module: %+v", ru)
+	}
+}
+
+// TestAPIErrorPaths table-drives the API's failure envelope: every bad
+// request must produce the right status code and a JSON {"error": ...}
+// body (or, for mux-level method rejections, a plain 405) — never a
+// panic, a 200, or a half-written response.
+func TestAPIErrorPaths(t *testing.T) {
+	_, srv := apiFleet(t)
+
+	badVendor := testSpec(330)
+	badVendor.Vendor = "nope"
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		{"enroll bad spec", http.MethodPost, "/v1/modules",
+			mustJSON(t, EnrollRequest{Spec: badVendor}), http.StatusBadRequest},
+		{"enroll invalid json", http.MethodPost, "/v1/modules", `{"spec":`, http.StatusBadRequest},
+		{"enroll unknown field", http.MethodPost, "/v1/modules",
+			`{"spec":{},"tpyo":1}`, http.StatusBadRequest},
+		{"enroll malformed snapshot", http.MethodPost, "/v1/modules",
+			mustJSON(t, map[string]any{"spec": testSpec(331), "snapshot": json.RawMessage(`{"schema":"bogus"}`)}),
+			http.StatusBadRequest},
+		{"unknown module status", http.MethodGet, "/v1/modules/nope", "", http.StatusNotFound},
+		{"unknown module report", http.MethodGet, "/v1/modules/nope/report", "", http.StatusNotFound},
+		{"unknown module checkpoint", http.MethodGet, "/v1/modules/nope/checkpoint", "", http.StatusNotFound},
+		{"unknown module retire", http.MethodDelete, "/v1/modules/nope", "", http.StatusNotFound},
+		{"method not allowed on modules", http.MethodPut, "/v1/modules", "", http.StatusMethodNotAllowed},
+		{"method not allowed on module", http.MethodPost, "/v1/modules/x", "", http.StatusMethodNotAllowed},
+		{"method not allowed on rollup", http.MethodDelete, "/v1/rollup", "", http.StatusMethodNotAllowed},
+		{"analytics without log dir", http.MethodGet, "/v1/analytics", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != "" {
+				body = bytes.NewReader([]byte(tc.body))
+			}
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+			}
+			out, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("%s %s: status %d, want %d: %s", tc.method, tc.path, resp.StatusCode, tc.wantStatus, out)
+			}
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				var env struct {
+					Error string `json:"error"`
+				}
+				if err := json.Unmarshal(out, &env); err != nil || env.Error == "" {
+					t.Fatalf("%s %s: error envelope missing: %s", tc.method, tc.path, out)
+				}
+			}
+		})
+	}
+
+	// An empty fleet is not an error: rollup serves zeros, list serves
+	// an empty array.
+	var ru Rollup
+	if resp := getJSON(t, srv.URL+"/v1/rollup", &ru); resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-fleet rollup: %d", resp.StatusCode)
+	}
+	if ru.Schema != RollupSchema || ru.Modules != 0 || ru.Failures != 0 {
+		t.Fatalf("empty-fleet rollup off: %+v", ru)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestAPIAnalytics runs a small logged fleet to completion and checks
+// the analytics endpoint agrees with the live rollup.
+func TestAPIAnalytics(t *testing.T) {
+	d := newDaemon(t, Config{Workers: 2, LogDir: t.TempDir()})
+	d.Start(context.Background())
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		d.Pool().Drain()
+	})
+	for i := 0; i < 4; i++ {
+		if _, err := d.Enroll(testSpec(340+i), nil); err != nil {
+			t.Fatalf("enroll: %v", err)
+		}
+	}
+	d.Quiesce()
+
+	var ar struct {
+		Schema   string         `json:"schema"`
+		Modules  int            `json:"modules"`
+		Epochs   int            `json:"epochs"`
+		Failures int            `json:"failures"`
+		ByMode   map[string]int `json:"by_mode"`
+	}
+	if resp := getJSON(t, srv.URL+"/v1/analytics", &ar); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analytics: %d", resp.StatusCode)
+	}
+	live := d.Rollup()
+	if ar.Schema != "parbor/fleetlog-rollup/v1" {
+		t.Fatalf("analytics schema %q", ar.Schema)
+	}
+	if ar.Modules != live.Modules || ar.Epochs != live.Epochs {
+		t.Fatalf("analytics disagrees with live rollup: %+v vs %+v", ar, live)
+	}
+	if ar.Failures != live.Failures || !reflect.DeepEqual(ar.ByMode, live.ByMode) {
+		t.Fatalf("analytics failure split disagrees: %+v vs %+v (live)", ar, live)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"parbor/internal/checkpoint"
+	"parbor/internal/fleetlog"
 	"parbor/internal/obs"
 )
 
@@ -43,6 +44,13 @@ type Config struct {
 	// StateDir, when non-empty, is where SaveState persists one JSON
 	// entry per module and LoadState resumes from. Created on demand.
 	StateDir string
+	// LogDir, when non-empty, enables the append-only failure-event
+	// log: every completed epoch appends one fleetlog event, and the
+	// /v1/analytics endpoint classifies the accumulated log.
+	LogDir string
+	// LogSegmentBytes caps each log segment; <= 0 selects the fleetlog
+	// default.
+	LogSegmentBytes int64
 }
 
 // Daemon ties the fleet together: registry + pool + fleet-level
@@ -52,17 +60,38 @@ type Daemon struct {
 	reg  *Registry
 	pool *Pool
 	col  *obs.Collector
+	logw *fleetlog.Writer
 }
 
 // NewDaemon builds an idle daemon; call Start (or Run) to launch the
-// workers.
-func NewDaemon(cfg Config) *Daemon {
-	return &Daemon{
+// workers, and Close when done so the event log is flushed shut.
+func NewDaemon(cfg Config) (*Daemon, error) {
+	d := &Daemon{
 		cfg:  cfg,
 		reg:  NewRegistry(),
 		pool: NewPool(cfg.Workers),
 		col:  obs.NewCollector(),
 	}
+	if cfg.LogDir != "" {
+		if err := os.MkdirAll(cfg.LogDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: creating log dir: %w", err)
+		}
+		w, err := fleetlog.OpenWriter(cfg.LogDir, fleetlog.WriterOptions{SegmentBytes: cfg.LogSegmentBytes})
+		if err != nil {
+			return nil, err
+		}
+		d.logw = w
+	}
+	return d, nil
+}
+
+// sink returns the event-log append hook for enrolled modules, or nil
+// when no log is configured.
+func (d *Daemon) sink() func(fleetlog.Event) error {
+	if d.logw == nil {
+		return nil
+	}
+	return d.logw.Append
 }
 
 // Registry exposes the membership table (read-mostly; mutate through
@@ -75,7 +104,7 @@ func (d *Daemon) Pool() *Pool { return d.pool }
 // Enroll validates and builds a module from spec (resuming from snap
 // when non-nil), registers it, and queues it for its first quantum.
 func (d *Daemon) Enroll(spec ModuleSpec, snap *checkpoint.Snapshot) (*Module, error) {
-	m, err := buildModule(spec, snap, d.col)
+	m, err := buildModule(spec, snap, d.col, d.sink())
 	if err != nil {
 		return nil, err
 	}
@@ -109,10 +138,41 @@ func (d *Daemon) Start(ctx context.Context) { d.pool.Start(ctx) }
 // to it.
 func (d *Daemon) Drain() error {
 	d.pool.Drain()
+	if d.logw != nil {
+		// Sync the log BEFORE persisting checkpoints: a crash between
+		// the two leaves the log ahead of the state, and replayed
+		// epochs re-log duplicate events the analytics deduplicate.
+		// The other order could lose events for checkpointed epochs.
+		if err := d.logw.Sync(); err != nil {
+			return err
+		}
+	}
 	if d.cfg.StateDir == "" {
 		return nil
 	}
 	return d.SaveState()
+}
+
+// Close releases the daemon's file-backed resources (the event log).
+// Call after Drain; idempotent.
+func (d *Daemon) Close() error {
+	if d.logw == nil {
+		return nil
+	}
+	w := d.logw
+	d.logw = nil
+	return w.Close()
+}
+
+// Analytics classifies the accumulated failure-event log: the
+// out-of-core counterpart of Rollup, covering every epoch ever logged
+// to LogDir (including by earlier daemon incarnations) rather than the
+// currently enrolled fleet's live state.
+func (d *Daemon) Analytics() (*fleetlog.Rollup, error) {
+	if d.cfg.LogDir == "" {
+		return nil, fmt.Errorf("fleet: no event log configured")
+	}
+	return fleetlog.Analyze(d.cfg.LogDir, fleetlog.ClassifierConfig{})
 }
 
 // Run is the daemon main loop: start workers, wait for ctx

@@ -13,6 +13,18 @@ import (
 	"parbor/internal/onlinetest"
 )
 
+// newDaemon builds a daemon for a test and ties its file-backed
+// resources (the event log) to the test's lifetime.
+func newDaemon(t *testing.T, cfg Config) *Daemon {
+	t.Helper()
+	d, err := NewDaemon(cfg)
+	if err != nil {
+		t.Fatalf("NewDaemon: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
 // testSpec builds a small, fast, failure-bearing member: toy
 // scrambling, 2 chips x 1 bank x 8 rows x 64 cols, a 400 ms wait that
 // exceeds every victim's retention threshold, and a 4-epoch budget
@@ -94,7 +106,7 @@ func TestSpecValidate(t *testing.T) {
 }
 
 func TestRegistryDuplicateAndRetire(t *testing.T) {
-	d := NewDaemon(Config{Workers: 1})
+	d := newDaemon(t, Config{Workers: 1})
 	if _, err := d.Enroll(testSpec(1), nil); err != nil {
 		t.Fatalf("enroll: %v", err)
 	}
@@ -124,7 +136,7 @@ func TestRegistryDuplicateAndRetire(t *testing.T) {
 }
 
 func TestFleetRunsToBudget(t *testing.T) {
-	d := NewDaemon(Config{Workers: 4})
+	d := newDaemon(t, Config{Workers: 4})
 	const n = 32
 	for i := 0; i < n; i++ {
 		sp := testSpec(i)
@@ -176,7 +188,7 @@ func TestFleetRunsToBudget(t *testing.T) {
 }
 
 func TestPoolDrainKeepsQueueAndRestarts(t *testing.T) {
-	d := NewDaemon(Config{Workers: 2})
+	d := newDaemon(t, Config{Workers: 2})
 	for i := 0; i < 8; i++ {
 		if _, err := d.Enroll(testSpec(100+i), nil); err != nil {
 			t.Fatalf("enroll: %v", err)
@@ -235,7 +247,7 @@ func TestClassifyModes(t *testing.T) {
 
 func TestSaveLoadStateRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	d := NewDaemon(Config{Workers: 2, StateDir: dir})
+	d := newDaemon(t, Config{Workers: 2, StateDir: dir})
 	for i := 0; i < 6; i++ {
 		if _, err := d.Enroll(testSpec(200+i), nil); err != nil {
 			t.Fatalf("enroll: %v", err)
@@ -247,7 +259,7 @@ func TestSaveLoadStateRoundTrip(t *testing.T) {
 		t.Fatalf("drain: %v", err)
 	}
 
-	d2 := NewDaemon(Config{Workers: 2, StateDir: dir})
+	d2 := newDaemon(t, Config{Workers: 2, StateDir: dir})
 	n, err := d2.LoadState()
 	if err != nil {
 		t.Fatalf("load: %v", err)
@@ -272,7 +284,7 @@ func TestSaveLoadStateRoundTrip(t *testing.T) {
 	if err := d.SaveState(); err != nil {
 		t.Fatalf("save: %v", err)
 	}
-	d3 := NewDaemon(Config{Workers: 1, StateDir: dir})
+	d3 := newDaemon(t, Config{Workers: 1, StateDir: dir})
 	if n, err := d3.LoadState(); err != nil || n != 5 {
 		t.Fatalf("after prune: loaded %d, err %v; want 5, nil", n, err)
 	}

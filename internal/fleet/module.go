@@ -8,6 +8,7 @@ import (
 	"parbor/internal/chaos"
 	"parbor/internal/checkpoint"
 	"parbor/internal/dram"
+	"parbor/internal/fleetlog"
 	"parbor/internal/memctl"
 	"parbor/internal/obs"
 	"parbor/internal/onlinetest"
@@ -55,6 +56,12 @@ type Module struct {
 	// the daemon can reconcile its totals against per-module reports.
 	fleetRec obs.Recorder
 
+	// sink, when non-nil, receives one failure-event record after
+	// every completed epoch — the daemon's append-only event log. A
+	// sink failure is terminal for the module: an un-logged epoch
+	// would silently hole the analytics.
+	sink func(fleetlog.Event) error
+
 	// baseEpochs is the scheduler's epoch count at enrollment: nonzero
 	// when the module resumed from a checkpoint. The daemon's
 	// CounterEpochs only counts epochs run under this daemon, so
@@ -68,8 +75,8 @@ type Module struct {
 }
 
 // buildModule constructs the runtime for a spec, optionally resuming
-// from a checkpoint snapshot. fleetRec may be nil.
-func buildModule(spec ModuleSpec, snap *checkpoint.Snapshot, fleetRec obs.Recorder) (*Module, error) {
+// from a checkpoint snapshot. fleetRec and sink may be nil.
+func buildModule(spec ModuleSpec, snap *checkpoint.Snapshot, fleetRec obs.Recorder, sink func(fleetlog.Event) error) (*Module, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,6 +140,7 @@ func buildModule(spec ModuleSpec, snap *checkpoint.Snapshot, fleetRec obs.Record
 		sched:      sched,
 		col:        col,
 		fleetRec:   fleetRec,
+		sink:       sink,
 		baseEpochs: sched.Epochs(),
 	}
 	// Checkpoint immediately: the fleet invariant is that every
@@ -182,6 +190,20 @@ func (m *Module) RunQuantum(ctx context.Context) bool {
 	m.stateMu.Unlock()
 
 	res, err := m.sched.RunEpochCtx(ctx)
+	var sinkErr error
+	if err == nil && m.sink != nil {
+		// Log before refreshing the checkpoint: if the append fails the
+		// snapshot still advances (the epoch really completed), but the
+		// ordering keeps the log's coverage a superset of any persisted
+		// checkpoint — replayed epochs re-log duplicate events, which
+		// the analytics deduplicate, whereas the reverse order could
+		// drop an epoch from the log forever.
+		sinkErr = m.sink(fleetlog.Event{
+			Module: m.spec.ID,
+			Epoch:  m.sched.Epochs(),
+			Fails:  res.Observed,
+		})
+	}
 	// Refresh the checkpoint only after a COMPLETED epoch. An aborted
 	// epoch (cancellation or a hard fault) rolls back live data and
 	// the cursor, but its partial passes still advanced the chip pass
@@ -217,6 +239,14 @@ func (m *Module) RunQuantum(ctx context.Context) bool {
 	if m.fleetRec != nil {
 		m.fleetRec.Add(CounterEpochs, 1)
 		m.fleetRec.Add(CounterNewFailures, uint64(len(res.NewFailures)))
+	}
+	if sinkErr != nil {
+		// The epoch completed and is counted above, but its event never
+		// reached the log; take the module off the schedule rather than
+		// accumulate epochs the analytics will never see.
+		m.status = StatusFailed
+		m.lastErr = fmt.Errorf("fleet: module %s: event log append: %w", m.spec.ID, sinkErr)
+		return false
 	}
 	if m.budgetExhausted() {
 		m.status = StatusDone

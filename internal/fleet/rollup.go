@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"parbor/internal/fleetlog"
 	"parbor/internal/memctl"
 )
 
@@ -10,11 +11,13 @@ const RollupSchema = "parbor/fleet-rollup/v1"
 // Fault-mode labels, following the taxonomy of the DDR4 field studies
 // (single-bit / single-row / single-column / whole-bank populations).
 // Classification is per (chip, bank) failure group within a module.
+// The labels are aliased from fleetlog so the live rollup and the
+// out-of-core log analytics cannot drift apart.
 const (
-	ModeSingleBit    = "single_bit"
-	ModeSingleRow    = "single_row"
-	ModeSingleColumn = "single_column"
-	ModeMultiCell    = "multi_cell"
+	ModeSingleBit    = fleetlog.ModeSingleBit
+	ModeSingleRow    = fleetlog.ModeSingleRow
+	ModeSingleColumn = fleetlog.ModeSingleColumn
+	ModeMultiCell    = fleetlog.ModeMultiCell
 )
 
 // VendorRollup aggregates one vendor's slice of the fleet.

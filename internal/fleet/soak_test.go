@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"parbor/internal/fleetlog"
 )
 
 // TestSoakThousandModulesDrainResume is the fleet acceptance test: a
@@ -30,7 +32,7 @@ func TestSoakThousandModulesDrainResume(t *testing.T) {
 	}
 
 	// Reference fleet: uninterrupted run to quiescence.
-	ref := NewDaemon(Config{Workers: 8})
+	ref := newDaemon(t, Config{Workers: 8})
 	for _, sp := range specs {
 		if _, err := ref.Enroll(sp, nil); err != nil {
 			t.Fatalf("ref enroll %s: %v", sp.ID, err)
@@ -45,9 +47,11 @@ func TestSoakThousandModulesDrainResume(t *testing.T) {
 
 	// Interrupted fleet: drain mid-run (parbord's SIGTERM path is
 	// exactly this — cancel the run context, Daemon.Run drains and
-	// persists).
+	// persists). Both incarnations append to the same event log, as
+	// parbord restarted with the same -log-dir would.
 	dir := t.TempDir()
-	d1 := NewDaemon(Config{Workers: 8, StateDir: dir})
+	logDir := t.TempDir()
+	d1 := newDaemon(t, Config{Workers: 8, StateDir: dir, LogDir: logDir})
 	for _, sp := range specs {
 		if _, err := d1.Enroll(sp, nil); err != nil {
 			t.Fatalf("d1 enroll %s: %v", sp.ID, err)
@@ -68,6 +72,11 @@ func TestSoakThousandModulesDrainResume(t *testing.T) {
 	cancel()
 	if err := <-done; err != nil {
 		t.Fatalf("drain: %v", err)
+	}
+	// The first incarnation's process is over: its log handle closes
+	// and the resumed daemon reopens the directory for append.
+	if err := d1.Close(); err != nil {
+		t.Fatalf("closing drained daemon: %v", err)
 	}
 
 	// Post-drain invariants: nothing is mid-epoch, and every module —
@@ -93,7 +102,7 @@ func TestSoakThousandModulesDrainResume(t *testing.T) {
 	t.Logf("drained with %d/%d modules unfinished", unfinished, n)
 
 	// Resumed fleet: load the persisted state and run to quiescence.
-	d2 := NewDaemon(Config{Workers: 8, StateDir: dir})
+	d2 := newDaemon(t, Config{Workers: 8, StateDir: dir, LogDir: logDir})
 	if got, err := d2.LoadState(); err != nil || got != n {
 		t.Fatalf("resume loaded %d modules, err %v; want %d, nil", got, err, n)
 	}
@@ -145,4 +154,33 @@ func TestSoakThousandModulesDrainResume(t *testing.T) {
 		!reflect.DeepEqual(r1.ByMode, r2.ByMode) || !reflect.DeepEqual(r1.ByVendor, r2.ByVendor) {
 		t.Fatalf("rollups diverged:\nref:     %+v\nresumed: %+v", r1, r2)
 	}
+
+	// The event log, spanning both incarnations, replayed through the
+	// out-of-core classifier (with a budget small enough to force
+	// spill-and-merge at this scale) must reproduce the live rollup
+	// exactly: same failing cells, same fault-mode split, all 4,000
+	// epochs accounted for, no torn tails from a graceful drain.
+	lr, err := fleetlog.Analyze(logDir, fleetlog.ClassifierConfig{MaxKeys: 1 << 12, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("analyzing event log: %v", err)
+	}
+	if lr.Truncations != 0 {
+		t.Fatalf("gracefully drained log has %d torn tails", lr.Truncations)
+	}
+	if lr.Modules != n || lr.Epochs != 4*n {
+		t.Fatalf("log covers %d modules / %d epochs, want %d / %d", lr.Modules, lr.Epochs, n, 4*n)
+	}
+	if lr.Failures != r2.Failures || lr.FailingModules != r2.FailingModules ||
+		!reflect.DeepEqual(lr.ByMode, r2.ByMode) {
+		t.Fatalf("log classification diverged from live rollup:\nlog:  failures=%d failing=%d modes=%v\nlive: failures=%d failing=%d modes=%v",
+			lr.Failures, lr.FailingModules, lr.ByMode, r2.Failures, r2.FailingModules, r2.ByMode)
+	}
+	if lr.Failures != lr.Transient+lr.Permanent {
+		t.Fatalf("permanence split does not partition: %d != %d + %d", lr.Failures, lr.Transient, lr.Permanent)
+	}
+	if lr.Permanent == 0 {
+		t.Fatalf("no fault repeated across epochs in a two-sweep budget; permanence signal is vacuous")
+	}
+	t.Logf("log rollup: %d events, %d failures (%d transient, %d permanent), modes %v",
+		lr.Events, lr.Failures, lr.Transient, lr.Permanent, lr.ByMode)
 }

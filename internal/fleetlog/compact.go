@@ -1,0 +1,69 @@
+package fleetlog
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// CompactStats reports what a compaction did.
+type CompactStats struct {
+	Events      int `json:"events"`
+	Truncations int `json:"truncations"`
+	SegmentsIn  int `json:"segments_in"`
+	SegmentsOut int `json:"segments_out"`
+}
+
+// Compact rewrites a log directory into a fresh one: every intact
+// record is re-encoded canonically into new segments of the requested
+// size, and torn tails are dropped (they carry no recoverable data).
+// The source is untouched; dst must not already contain segments, so
+// a half-finished compaction cannot be mistaken for a complete one.
+func Compact(srcDir, dstDir string, opts WriterOptions) (CompactStats, error) {
+	var st CompactStats
+	if existing, err := listSegments(dstDir); err == nil && len(existing) > 0 {
+		return st, fmt.Errorf("fleetlog: destination %s already holds %d segments", dstDir, len(existing))
+	} else if err != nil && !os.IsNotExist(err) {
+		return st, fmt.Errorf("fleetlog: listing destination: %w", err)
+	}
+	srcSegs, err := listSegments(srcDir)
+	if err != nil {
+		return st, fmt.Errorf("fleetlog: listing source: %w", err)
+	}
+	st.SegmentsIn = len(srcSegs)
+
+	it, err := OpenIter(srcDir)
+	if err != nil {
+		return st, err
+	}
+	defer it.Close()
+	w, err := OpenWriter(dstDir, opts)
+	if err != nil {
+		return st, err
+	}
+	for {
+		ev, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			return st, err
+		}
+		if err := w.Append(ev); err != nil {
+			w.Close()
+			return st, err
+		}
+		st.Events++
+	}
+	if err := w.Close(); err != nil {
+		return st, err
+	}
+	st.Truncations = len(it.Truncations())
+	outSegs, err := listSegments(dstDir)
+	if err != nil {
+		return st, err
+	}
+	st.SegmentsOut = len(outSegs)
+	return st, nil
+}

@@ -1,0 +1,111 @@
+package fleetlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"parbor/internal/memctl"
+)
+
+// TestTornWriteEveryByteBoundary is the exhaustive crash model: a
+// segment cut at EVERY byte length from empty to complete. For each
+// cut the iterator must recover every record that fits entirely within
+// the prefix, report exactly one truncation when the cut lands inside
+// a frame (and none when it lands on a boundary), and never report
+// corruption — truncation is always distinguishable from damage
+// because a torn varint keeps its continuation bit and a torn payload
+// fails its checksum only at end-of-file. Then a writer reopened over
+// the same prefix must truncate the damage and continue the log
+// cleanly.
+func TestTornWriteEveryByteBoundary(t *testing.T) {
+	master := t.TempDir()
+	w, err := OpenWriter(master, WriterOptions{})
+	if err != nil {
+		t.Fatalf("OpenWriter: %v", err)
+	}
+	evs := testEvents()
+	// boundaries[i] is the clean prefix length after i records (the
+	// segment header alone for i=0).
+	boundaries := []int64{int64(segHeaderLen)}
+	for _, ev := range evs {
+		if err := w.Append(ev); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		boundaries = append(boundaries, w.size)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(master, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != boundaries[len(boundaries)-1] {
+		t.Fatalf("segment is %d bytes, last boundary %d", len(data), boundaries[len(boundaries)-1])
+	}
+
+	sentinel := Event{Module: "post-crash", Epoch: 7, Fails: []memctl.BitAddr{{Chip: 1, Bank: 0, Row: 2, Col: 3}}}
+	for cut := 0; cut <= len(data); cut++ {
+		cut := int64(cut)
+		// Expected recovery for this prefix.
+		intact := 0
+		wantClean := int64(0) // longest clean prefix (0 when even the header is torn)
+		for i, b := range boundaries {
+			if cut >= b {
+				intact = i
+				wantClean = b
+			}
+		}
+		// A cut on a frame boundary is clean; anything shorter than the
+		// header (including an empty file — a crash between creat and
+		// the header write) is a torn prefix.
+		wantTruncs := 1
+		if cut == wantClean && cut >= int64(segHeaderLen) {
+			wantTruncs = 0
+		}
+
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, truncs := readAll(t, dir)
+		label := fmt.Sprintf("cut=%d", cut)
+		wantEvs := evs[:intact]
+		if intact == 0 {
+			wantEvs = nil
+		}
+		if !reflect.DeepEqual(got, wantEvs) {
+			t.Fatalf("%s: recovered %d events, want %d:\ngot  %+v\nwant %+v", label, len(got), intact, got, wantEvs)
+		}
+		if len(truncs) != wantTruncs {
+			t.Fatalf("%s: %d truncations, want %d (%+v)", label, len(truncs), wantTruncs, truncs)
+		}
+		if wantTruncs == 1 && truncs[0].CleanBytes != wantClean {
+			t.Fatalf("%s: truncation at clean byte %d, want %d", label, truncs[0].CleanBytes, wantClean)
+		}
+
+		// A writer reopened over the damage must truncate it and append
+		// on a clean boundary.
+		w2, err := OpenWriter(dir, WriterOptions{})
+		if err != nil {
+			t.Fatalf("%s: reopen: %v", label, err)
+		}
+		if err := w2.Append(sentinel); err != nil {
+			t.Fatalf("%s: append after recovery: %v", label, err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatalf("%s: close: %v", label, err)
+		}
+		got, truncs = readAll(t, dir)
+		want := append(append([]Event(nil), evs[:intact]...), sentinel)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: post-recovery log drifted:\ngot  %+v\nwant %+v", label, got, want)
+		}
+		if len(truncs) != 0 {
+			t.Fatalf("%s: recovered log still reports truncations: %+v", label, truncs)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package fleetlog
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The classifier's working set is a *set* of fixed-size sort keys:
+// one per distinct (module, cell, epoch) observation and one per
+// distinct (module, epoch) pair. Sets make the pipeline a pure
+// function of the event set — replayed duplicate events (a daemon
+// killed after logging an epoch but before persisting its checkpoint
+// re-runs and re-logs the identical epoch) deduplicate away, and
+// event order cannot matter.
+//
+// keyBytes packs (module uint32, chip uint16, bank uint16, row
+// uint32, col uint32, epoch uint32) big-endian, so bytewise key order
+// equals (module, chip, bank, row, col, epoch) tuple order and the
+// merged stream arrives pre-grouped for the classifier's fold. All
+// packed fields are validated non-negative first.
+const keyBytes = 20
+
+type spillKey [keyBytes]byte
+
+// spillSet is a deduplicating set of spillKeys with bounded memory:
+// at most limit keys are held in the in-memory map; beyond that the
+// map is sorted and flushed to a run file, and merge() streams the
+// union of all runs plus the residue in sorted order. Disk usage is
+// O(total distinct-ish keys); memory stays O(limit + runs).
+type spillSet struct {
+	limit  int
+	dir    string
+	prefix string
+	mem    map[spillKey]struct{}
+	runs   []string
+	// spilled counts keys written to runs (with cross-run duplicates),
+	// for diagnostics.
+	spilled int
+}
+
+func newSpillSet(limit int, dir, prefix string) *spillSet {
+	return &spillSet{
+		limit:  limit,
+		dir:    dir,
+		prefix: prefix,
+		mem:    make(map[spillKey]struct{}, min(limit, 1<<16)),
+	}
+}
+
+// add inserts a key, spilling the in-memory set to a run file when
+// the budget is exceeded.
+func (s *spillSet) add(k spillKey) error {
+	s.mem[k] = struct{}{}
+	if len(s.mem) >= s.limit {
+		return s.spill()
+	}
+	return nil
+}
+
+// spill sorts the in-memory keys and writes them as one run.
+func (s *spillSet) spill() error {
+	if len(s.mem) == 0 {
+		return nil
+	}
+	keys := s.sortedMem()
+	// The spill dir is scratch space the caller merely names (e.g.
+	// parborlog -spill); create it on first use rather than demanding
+	// it exists.
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("fleetlog: creating spill dir: %w", err)
+	}
+	path := filepath.Join(s.dir, fmt.Sprintf("%s-%06d.run", s.prefix, len(s.runs)))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fleetlog: creating spill run: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	for _, k := range keys {
+		if _, err := bw.Write(k[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("fleetlog: writing spill run: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("fleetlog: flushing spill run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("fleetlog: closing spill run: %w", err)
+	}
+	s.runs = append(s.runs, path)
+	s.spilled += len(keys)
+	s.mem = make(map[spillKey]struct{}, min(s.limit, 1<<16))
+	return nil
+}
+
+func (s *spillSet) sortedMem() []spillKey {
+	keys := make([]spillKey, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i][:], keys[j][:]) < 0 })
+	return keys
+}
+
+// runCursor is one merge source: a spilled run file or the in-memory
+// residue.
+type runCursor struct {
+	br  *bufio.Reader // nil for the in-memory residue
+	f   *os.File
+	mem []spillKey
+	pos int
+	cur spillKey
+	ok  bool
+}
+
+func (c *runCursor) advance() error {
+	if c.br == nil {
+		if c.pos >= len(c.mem) {
+			c.ok = false
+			return nil
+		}
+		c.cur = c.mem[c.pos]
+		c.pos++
+		return nil
+	}
+	_, err := io.ReadFull(c.br, c.cur[:])
+	if err == io.EOF {
+		c.ok = false
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("fleetlog: reading spill run: %w", err)
+	}
+	return nil
+}
+
+// cursorHeap is a min-heap of merge sources by current key.
+type cursorHeap []*runCursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	return bytes.Compare(h[i].cur[:], h[j].cur[:]) < 0
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)   { *h = append(*h, x.(*runCursor)) }
+func (h *cursorHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// merge streams the set's distinct keys in sorted order through
+// yield: a k-way heap merge of every run file plus the in-memory
+// residue, with equal keys across sources collapsed. The set is
+// consumed; run files are removed as they drain.
+func (s *spillSet) merge(yield func(spillKey) error) error {
+	h := make(cursorHeap, 0, len(s.runs)+1)
+	defer func() {
+		for _, c := range h {
+			if c.f != nil {
+				c.f.Close()
+			}
+		}
+		s.cleanup()
+	}()
+	for _, path := range s.runs {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("fleetlog: opening spill run: %w", err)
+		}
+		c := &runCursor{br: bufio.NewReaderSize(f, 1<<16), f: f, ok: true}
+		if err := c.advance(); err != nil {
+			return err
+		}
+		if c.ok {
+			h = append(h, c)
+		} else {
+			f.Close()
+		}
+	}
+	if len(s.mem) > 0 {
+		c := &runCursor{mem: s.sortedMem(), ok: true}
+		c.advance()
+		h = append(h, c)
+	}
+	s.mem = nil
+	heap.Init(&h)
+	var last spillKey
+	haveLast := false
+	for len(h) > 0 {
+		c := h[0]
+		k := c.cur
+		if err := c.advance(); err != nil {
+			return err
+		}
+		if c.ok {
+			heap.Fix(&h, 0)
+		} else {
+			if c.f != nil {
+				c.f.Close()
+				c.f = nil
+			}
+			heap.Pop(&h)
+		}
+		if haveLast && k == last {
+			continue // duplicate across sources
+		}
+		last, haveLast = k, true
+		if err := yield(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cleanup removes any remaining run files.
+func (s *spillSet) cleanup() {
+	for _, path := range s.runs {
+		os.Remove(path)
+	}
+	s.runs = nil
+}

@@ -1,0 +1,256 @@
+package fleetlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	segMagic   = "PBFL"
+	segVersion = 1
+	// segHeaderLen is the magic plus the version byte.
+	segHeaderLen = len(segMagic) + 1
+	// segSuffix names segment files; the numeric prefix orders them.
+	segSuffix = ".seg"
+)
+
+// WriterOptions tunes a Writer.
+type WriterOptions struct {
+	// SegmentBytes rotates to a fresh segment once the current one
+	// reaches this size; <= 0 selects 4 MiB. A record is never split
+	// across segments, so segments may overshoot by one record.
+	SegmentBytes int64
+}
+
+// segHeader is the constant 5-byte segment prelude.
+func segHeader() []byte { return append([]byte(segMagic), segVersion) }
+
+// segName formats a segment sequence number as a filename.
+func segName(seq int) string { return fmt.Sprintf("%08d%s", seq, segSuffix) }
+
+// segSeq parses a segment filename's sequence number, or -1.
+func segSeq(name string) int {
+	if !strings.HasSuffix(name, segSuffix) {
+		return -1
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(name, segSuffix))
+	if err != nil || n <= 0 {
+		return -1
+	}
+	return n
+}
+
+// listSegments returns the directory's segment filenames in sequence
+// order.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && segSeq(e.Name()) > 0 {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return segSeq(names[i]) < segSeq(names[j]) })
+	return names, nil
+}
+
+// Writer appends failure events to a segmented log directory. It is
+// safe for concurrent use: the fleet's worker pool appends from many
+// goroutines, and each record is written with a single write call so
+// concurrent appends never interleave bytes.
+type Writer struct {
+	mu   sync.Mutex
+	dir  string
+	opts WriterOptions
+	f    *os.File
+	seq  int
+	size int64
+	buf  []byte // whole-record scratch, reused across appends
+	err  error  // sticky: a writer that failed mid-record must not continue
+}
+
+// OpenWriter opens (creating if needed) a log directory for append.
+// If the last segment has a torn tail — a partial record from a crash
+// mid-write — the damage is truncated away first, so the writer only
+// ever appends after a clean record boundary.
+func OpenWriter(dir string, opts WriterOptions) (*Writer, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleetlog: creating log dir: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fleetlog: listing log dir: %w", err)
+	}
+	w := &Writer{dir: dir, opts: opts}
+	if len(segs) == 0 {
+		if err := w.openSegment(1); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	last := segs[len(segs)-1]
+	w.seq = segSeq(last)
+	clean, err := cleanLength(filepath.Join(dir, last))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, last), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleetlog: opening segment: %w", err)
+	}
+	if err := f.Truncate(clean); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleetlog: truncating torn tail of %s: %w", last, err)
+	}
+	if clean < int64(segHeaderLen) {
+		// The crash tore the segment header itself; rewrite it.
+		if _, err := f.WriteAt(segHeader(), 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleetlog: rewriting segment header: %w", err)
+		}
+		clean = int64(segHeaderLen)
+	}
+	if _, err := f.Seek(clean, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.f, w.size = f, clean
+	return w, nil
+}
+
+// cleanLength scans a segment and returns the byte length of its
+// longest clean prefix: the segment header plus every fully framed,
+// checksum-verified record. A segment that is corrupt outright (bad
+// magic, unknown version) is an error — recovery must not silently
+// destroy a file that was never a fleetlog segment.
+func cleanLength(path string) (int64, error) {
+	sr, err := openSegment(path)
+	if err != nil {
+		return 0, err
+	}
+	defer sr.close()
+	for {
+		_, err := sr.next()
+		if err == nil {
+			continue
+		}
+		if torn, ok := err.(errTorn); ok {
+			return torn.cleanLen, nil
+		}
+		if err == errSegEnd {
+			return sr.off, nil
+		}
+		return 0, err
+	}
+}
+
+// openSegment creates the next segment file and makes it current.
+func (w *Writer) openSegment(seq int) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("fleetlog: creating segment: %w", err)
+	}
+	if _, err := f.Write(segHeader()); err != nil {
+		f.Close()
+		return fmt.Errorf("fleetlog: writing segment header: %w", err)
+	}
+	w.f, w.seq, w.size = f, seq, int64(segHeaderLen)
+	return nil
+}
+
+// Append encodes ev and appends it as one framed record, rotating to
+// a new segment when the current one is full. The record reaches the
+// OS in a single write call; Append returns once the OS has it.
+func (w *Writer) Append(ev Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		return fmt.Errorf("fleetlog: writer is closed")
+	}
+	// Frame into the scratch buffer: length, payload, checksum.
+	// The payload is encoded first (after a length-placeholder region)
+	// so its length is known; the uvarint length is then stamped
+	// immediately before it.
+	const maxLen = binary.MaxVarintLen64
+	buf := append(w.buf[:0], make([]byte, maxLen)...)
+	buf, err := AppendEvent(buf, ev)
+	if err != nil {
+		return err
+	}
+	payload := buf[maxLen:]
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("fleetlog: event payload %d bytes exceeds record limit", len(payload))
+	}
+	lenBytes := binary.AppendUvarint(nil, uint64(len(payload)))
+	start := maxLen - len(lenBytes)
+	copy(buf[start:], lenBytes)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	w.buf = buf[:0]
+	rec := buf[start:]
+
+	if w.size > int64(segHeaderLen) && w.size+int64(len(rec)) > w.opts.SegmentBytes {
+		if err := w.rotate(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	if _, err := w.f.Write(rec); err != nil {
+		// A short write may have left a torn record; poison the writer
+		// so the tail is not built on. The next OpenWriter truncates it.
+		w.err = fmt.Errorf("fleetlog: appending record: %w", err)
+		return w.err
+	}
+	w.size += int64(len(rec))
+	return nil
+}
+
+// rotate closes the current segment and opens the next one.
+func (w *Writer) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("fleetlog: closing segment: %w", err)
+	}
+	w.f = nil
+	return w.openSegment(w.seq + 1)
+}
+
+// Sync flushes the current segment to stable storage.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close closes the current segment. Append after Close fails;
+// reopening the directory with OpenWriter continues the log.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// Dir returns the log directory.
+func (w *Writer) Dir() string { return w.dir }

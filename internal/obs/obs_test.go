@@ -84,6 +84,50 @@ func TestReconcileFailure(t *testing.T) {
 	}
 }
 
+// TestReconcileResilienceCrossCheck pins the fault/symptom pairing:
+// with zero chaos faults, resilience symptoms must be absent — except
+// degraded epochs when an inherited quarantine (a chip already out of
+// service when the scheduler resumed) explains them. Inherited
+// quarantine excuses only degradation, never retries or fresh
+// quarantines: those require a fault in this incarnation.
+func TestReconcileResilienceCrossCheck(t *testing.T) {
+	snap := func(mutate func(*Collector)) *Report {
+		c := NewCollector()
+		mutate(c)
+		return c.Snapshot("test")
+	}
+	if err := snap(func(c *Collector) {
+		c.Add(CounterDegradedEpochs, 1)
+	}).Reconcile(); err == nil {
+		t.Fatal("degraded epochs with zero faults reconciled")
+	}
+	if err := snap(func(c *Collector) {
+		c.Add(CounterInheritedQuarantine, 1)
+		c.Add(CounterDegradedEpochs, 2)
+	}).Reconcile(); err != nil {
+		t.Fatalf("inherited quarantine did not excuse degraded epochs: %v", err)
+	}
+	if err := snap(func(c *Collector) {
+		c.Add(CounterInheritedQuarantine, 1)
+		c.Add(CounterRetries, 1)
+	}).Reconcile(); err == nil {
+		t.Fatal("retries with zero faults reconciled under inherited quarantine")
+	}
+	if err := snap(func(c *Collector) {
+		c.Add(CounterInheritedQuarantine, 1)
+		c.Add(CounterQuarantinedChips, 1)
+	}).Reconcile(); err == nil {
+		t.Fatal("fresh quarantine with zero faults reconciled under inherited quarantine")
+	}
+	if err := snap(func(c *Collector) {
+		c.Add(CounterChaosWriteFaults, 1)
+		c.Add(CounterRetries, 1)
+		c.Add(CounterDegradedEpochs, 1)
+	}).Reconcile(); err != nil {
+		t.Fatalf("faulted run with symptoms failed to reconcile: %v", err)
+	}
+}
+
 func TestStagesRecordDeltas(t *testing.T) {
 	c := NewCollector()
 	stop := c.StartStage("write")

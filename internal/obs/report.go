@@ -34,6 +34,12 @@ const (
 	CounterDegradedEpochs   = "resilience.degraded_epochs"
 	CounterUnrestoredBits   = "resilience.unrestored_bits"
 	CounterUnrestoredRows   = "resilience.unrestored_rows"
+	// CounterInheritedQuarantine counts chips that were already
+	// quarantined when a scheduler resumed from a checkpoint: the
+	// faults that caused the quarantine were counted by a previous
+	// incarnation's report, but the coverage symptoms (degraded
+	// epochs) continue in this one.
+	CounterInheritedQuarantine = "resilience.inherited_quarantine"
 )
 
 // Report is the structured, JSON-serializable record of one
@@ -183,13 +189,20 @@ func (r *Report) Reconcile() error {
 		for _, name := range []string{
 			CounterRetries,
 			CounterQuarantinedChips,
-			CounterDegradedEpochs,
 			CounterUnrestoredBits,
 			CounterUnrestoredRows,
 		} {
 			if n := r.Counters[name]; n != 0 {
 				return fmt.Errorf("obs: %d %s with zero chaos faults", n, name)
 			}
+		}
+		// Degraded epochs are the one symptom that legitimately
+		// outlives its cause: a scheduler resumed with chips already
+		// quarantined keeps skipping their rows, so this incarnation
+		// reports partial coverage even though the faults behind the
+		// quarantine were counted by the incarnation that took them.
+		if n := r.Counters[CounterDegradedEpochs]; n != 0 && r.Counters[CounterInheritedQuarantine] == 0 {
+			return fmt.Errorf("obs: %d %s with zero chaos faults", n, CounterDegradedEpochs)
 		}
 	}
 	return nil

@@ -174,6 +174,12 @@ type EpochResult struct {
 	RowsTested []memctl.Row
 	// NewFailures are failures not seen in any earlier epoch.
 	NewFailures []memctl.BitAddr
+	// Observed are all distinct failures seen this epoch — repeats of
+	// previously known failures included — in canonical (chip, bank,
+	// row, col) order. Repeat observation across epochs is what the
+	// fleet's event log uses to separate permanent faults from
+	// transient ones, so NewFailures alone would not do.
+	Observed []memctl.BitAddr
 	// Tests is the number of successful passes this epoch.
 	Tests int
 	// SweepCompleted reports whether this epoch finished a full
@@ -281,6 +287,9 @@ func (s *Scheduler) RunEpochCtx(ctx context.Context) (result *EpochResult, err e
 	}()
 
 	testRows := rows
+	// epochSeen dedupes within the epoch: several patterns commonly
+	// re-expose the same cell, but one epoch is one observation.
+	epochSeen := make(map[memctl.BitAddr]struct{})
 	bufs := make([][]uint64, len(rows))
 	for i := range bufs {
 		bufs[i] = make([]uint64, words)
@@ -318,12 +327,16 @@ func (s *Scheduler) RunEpochCtx(ctx context.Context) (result *EpochResult, err e
 		res.Tests++
 		s.tests++
 		for _, a := range fails {
+			epochSeen[a] = struct{}{}
 			s.sweepSeen[a] = struct{}{}
 			if _, ok := s.everSeen[a]; !ok {
 				s.everSeen[a] = struct{}{}
 				res.NewFailures = append(res.NewFailures, a)
 			}
 		}
+	}
+	if len(epochSeen) > 0 {
+		res.Observed = sortedAddrs(epochSeen)
 	}
 
 	s.cursor = (s.cursor + n) % len(s.rows)

@@ -182,3 +182,68 @@ func TestEpochLargerThanModule(t *testing.T) {
 		t.Errorf("oversized epoch: tested %d rows, completed %v", len(res.RowsTested), res.SweepCompleted)
 	}
 }
+
+// TestObservedCapturesRepeats: Observed must report every failure the
+// epoch saw — including repeats of already-known cells — in canonical
+// order, because the fleet's event log separates permanent from
+// transient faults by repeat observation.
+func TestObservedCapturesRepeats(t *testing.T) {
+	const rows = 16
+	host := onlineHost(t, rows)
+	writeAppData(t, host, rows)
+	s, err := New(host, Config{Distances: vendorADistances, RowsPerEpoch: rows})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Two full sweeps over identical rows: the second sweep's failures
+	// are all repeats, so NewFailures must be empty while Observed
+	// re-reports the deterministic victim set.
+	first, err := s.RunEpoch()
+	if err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	if len(first.Observed) == 0 {
+		t.Fatal("full sweep observed nothing despite victim population")
+	}
+	seen := make(map[memctl.BitAddr]struct{}, len(first.Observed))
+	for i, a := range first.Observed {
+		seen[a] = struct{}{}
+		if i > 0 && !addrLessTest(first.Observed[i-1], a) {
+			t.Fatalf("Observed out of canonical order at %d: %+v !< %+v", i, first.Observed[i-1], a)
+		}
+	}
+	for _, a := range first.NewFailures {
+		if _, ok := seen[a]; !ok {
+			t.Errorf("NewFailures entry %+v missing from Observed", a)
+		}
+	}
+	second, err := s.RunEpoch()
+	if err != nil {
+		t.Fatalf("second RunEpoch: %v", err)
+	}
+	if len(second.NewFailures) != 0 {
+		t.Errorf("second identical sweep reported %d new failures", len(second.NewFailures))
+	}
+	if len(second.Observed) != len(first.Observed) {
+		t.Fatalf("second sweep observed %d failures, first %d — repeats not captured",
+			len(second.Observed), len(first.Observed))
+	}
+	for i := range second.Observed {
+		if second.Observed[i] != first.Observed[i] {
+			t.Fatalf("observation %d drifted across sweeps: %+v vs %+v", i, second.Observed[i], first.Observed[i])
+		}
+	}
+}
+
+func addrLessTest(a, b memctl.BitAddr) bool {
+	if a.Chip != b.Chip {
+		return a.Chip < b.Chip
+	}
+	if a.Bank != b.Bank {
+		return a.Bank < b.Bank
+	}
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	return a.Col < b.Col
+}

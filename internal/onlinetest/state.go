@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"parbor/internal/memctl"
+	"parbor/internal/obs"
 )
 
 // State is the scheduler's complete serializable progress: everything
@@ -86,6 +87,16 @@ func Resume(host *memctl.Host, st State) (*Scheduler, error) {
 			return nil, fmt.Errorf("onlinetest: resume quarantines chip %d outside module's %d chips", c, host.Chips())
 		}
 		s.quarantined[c] = struct{}{}
+	}
+	// Inherited quarantine must be declared to the new incarnation's
+	// recorder: its epochs will report partial coverage (the skipped
+	// rows of chips quarantined before the interruption) without any
+	// chaos fault of their own, and Report.Reconcile only excuses that
+	// when this counter explains it.
+	if len(st.Quarantined) > 0 {
+		if rec := host.Recorder(); rec != nil {
+			rec.Add(obs.CounterInheritedQuarantine, uint64(len(st.Quarantined)))
+		}
 	}
 	return s, nil
 }
