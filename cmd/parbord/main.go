@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"parbor/internal/faultfs"
 	"parbor/internal/fleet"
 )
 
@@ -56,6 +57,14 @@ func main() {
 		runToIdle = flag.Bool("run-to-idle", false, "exit when the fleet quiesces instead of waiting for a signal")
 		rollup    = flag.Bool("rollup", false, "print the final fleet rollup JSON to stdout on exit")
 		logDir    = flag.String("log-dir", "", "append failure events to the fleetlog in this directory (serves GET /v1/analytics)")
+		logRetain = flag.Int("log-retain", 0, "garbage-collect the event log to this many newest segments after each drain (0 = keep everything)")
+
+		// Disk-chaos soak flags: not for production. A nonzero seed
+		// routes all durable state through a deterministic fault
+		// injector so operators (and CI) can watch the daemon degrade
+		// and recover under real storage failures.
+		chaosSeed = flag.Uint64("diskchaos-seed", 0, "TESTING: inject deterministic disk faults seeded with this value (0 = off)")
+		chaosProb = flag.Float64("diskchaos-prob", 0.005, "TESTING: per-operation fault probability for -diskchaos-seed")
 	)
 	flag.Parse()
 
@@ -70,6 +79,9 @@ func main() {
 		runToIdle: *runToIdle,
 		rollup:    *rollup,
 		logDir:    *logDir,
+		logRetain: *logRetain,
+		chaosSeed: *chaosSeed,
+		chaosProb: *chaosProb,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "parbord: %v\n", err)
 		os.Exit(1)
@@ -85,16 +97,38 @@ type options struct {
 	runToIdle bool
 	rollup    bool
 	logDir    string
+	logRetain int
+	chaosSeed uint64
+	chaosProb float64
 }
 
 func run(ctx context.Context, opts options) error {
 	if opts.resume && opts.stateDir == "" {
 		return errors.New("-resume needs -state")
 	}
+	var fsys faultfs.FS
+	if opts.chaosSeed != 0 {
+		p := opts.chaosProb
+		inj, err := faultfs.NewInjector(faultfs.OS{}, faultfs.InjectorConfig{
+			Seed:           opts.chaosSeed,
+			WriteErrProb:   p,
+			ShortWriteProb: p,
+			SyncErrProb:    p,
+			ReadErrProb:    p,
+			RenameErrProb:  p,
+		})
+		if err != nil {
+			return err
+		}
+		fsys = inj
+		fmt.Fprintf(os.Stderr, "parbord: DISK CHAOS ACTIVE (seed %d, p=%g): injecting storage faults into all durable state\n", opts.chaosSeed, p)
+	}
 	d, err := fleet.NewDaemon(fleet.Config{
-		Workers:  opts.workers,
-		StateDir: opts.stateDir,
-		LogDir:   opts.logDir,
+		Workers:   opts.workers,
+		StateDir:  opts.stateDir,
+		LogDir:    opts.logDir,
+		LogRetain: opts.logRetain,
+		FS:        fsys,
 	})
 	if err != nil {
 		return err
@@ -125,7 +159,18 @@ func run(ctx context.Context, opts options) error {
 		if err != nil {
 			return fmt.Errorf("listening on %s: %w", opts.listen, err)
 		}
-		srv = &http.Server{Handler: d.Handler()}
+		srv = &http.Server{
+			Handler: d.Handler(),
+			// Production timeouts: a client that stalls mid-header or
+			// trickles a body must not pin a connection (and its
+			// goroutine) forever. No WriteTimeout: /v1/analytics
+			// legitimately streams a large log; Shutdown's deadline
+			// bounds the drain instead.
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+			MaxHeaderBytes:    1 << 20,
+		}
 		go func() { serveErr <- srv.Serve(ln) }()
 		fmt.Fprintf(os.Stderr, "parbord: serving on %s (%d workers)\n", ln.Addr(), d.Pool().Workers())
 	}

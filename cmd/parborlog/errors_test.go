@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"parbor/internal/fleetlog"
+	"parbor/internal/memctl"
+)
+
+// writeSegmentedLog writes the same population as writeLog but under a
+// tiny segment budget, so the log spans several segment files. Returns
+// the segment filenames in sequence order.
+func writeSegmentedLog(t *testing.T, dir string) []string {
+	t.Helper()
+	w, err := fleetlog.OpenWriter(dir, fleetlog.WriterOptions{SegmentBytes: 32})
+	if err != nil {
+		t.Fatalf("OpenWriter: %v", err)
+	}
+	a := func(row, col int) memctl.BitAddr {
+		return memctl.BitAddr{Row: int32(row), Col: int32(col)}
+	}
+	for _, ev := range []fleetlog.Event{
+		{Module: "mod-a", Epoch: 1, Fails: []memctl.BitAddr{a(3, 7)}},
+		{Module: "mod-a", Epoch: 2, Fails: []memctl.BitAddr{a(3, 7)}},
+		{Module: "mod-b", Epoch: 1, Fails: []memctl.BitAddr{a(5, 1), a(5, 9)}},
+		{Module: "mod-c", Epoch: 1},
+	} {
+		if err := w.Append(ev); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs := segmentNames(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("wanted a multi-segment log, got %d segments", len(segs))
+	}
+	return segs
+}
+
+// segmentNames lists the .seg files in sequence order (the zero-padded
+// numeric prefix makes that lexical order).
+func segmentNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestRunMissingDir exercises every mode against a directory that does
+// not exist: each must fail rather than invent an empty result.
+func TestRunMissingDir(t *testing.T) {
+	nope := filepath.Join(t.TempDir(), "nope")
+	for name, opts := range map[string]options{
+		"rollup":  {dir: nope},
+		"dump":    {dir: nope, dump: true},
+		"compact": {dir: nope, compact: filepath.Join(t.TempDir(), "out")},
+		"gc":      {dir: nope, gc: 2, gcOn: true},
+	} {
+		var out bytes.Buffer
+		if err := run(context.Background(), opts, &out); err == nil {
+			t.Errorf("%s of a missing dir succeeded:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRunModeExclusion covers the -gc arm of the mutual-exclusion
+// check (the -dump/-compact pair is covered by TestRunValidation).
+func TestRunModeExclusion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), options{dir: "x", dump: true, gc: 1, gcOn: true}, &out); err == nil {
+		t.Error("-dump with -gc accepted")
+	}
+	if err := run(context.Background(), options{dir: "x", compact: "y", gc: 1, gcOn: true}, &out); err == nil {
+		t.Error("-compact with -gc accepted")
+	}
+}
+
+// TestRunTruncatedSegmentMidStream tears the tail off a NON-last
+// segment. The reader must recover — skip the torn record, keep
+// streaming the later segments — in both -dump and rollup modes,
+// because a field log is full of crash debris from old daemon
+// incarnations and analysis cannot stop at the first one.
+func TestRunTruncatedSegmentMidStream(t *testing.T) {
+	dir := t.TempDir()
+	segs := writeSegmentedLog(t, dir)
+
+	first := filepath.Join(dir, segs[0])
+	st, err := os.Stat(first)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if err := os.Truncate(first, st.Size()-3); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+
+	var dump bytes.Buffer
+	if err := run(context.Background(), options{dir: dir, dump: true}, &dump); err != nil {
+		t.Fatalf("dump with mid-stream tear: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(dump.String()), "\n")
+	if len(lines) == 0 || len(lines) >= 4 {
+		t.Fatalf("dumped %d lines, want 1..3 (torn record dropped, rest kept):\n%s", len(lines), dump.String())
+	}
+	for _, ln := range lines {
+		var ev fleetlog.Event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Errorf("surviving dump line is not JSON: %v: %s", err, ln)
+		}
+	}
+
+	var out bytes.Buffer
+	if err := run(context.Background(), options{dir: dir}, &out); err != nil {
+		t.Fatalf("rollup with mid-stream tear: %v", err)
+	}
+	var r fleetlog.Rollup
+	if err := json.Unmarshal(out.Bytes(), &r); err != nil {
+		t.Fatalf("rollup output: %v", err)
+	}
+	if r.Events != len(lines) {
+		t.Errorf("rollup saw %d events, dump saw %d", r.Events, len(lines))
+	}
+}
+
+// TestRunCorruptSegmentMidStream overwrites a middle segment with
+// bytes that were never a fleetlog segment. That is corruption, not a
+// tear: recovery must refuse to quietly eat it.
+func TestRunCorruptSegmentMidStream(t *testing.T) {
+	dir := t.TempDir()
+	segs := writeSegmentedLog(t, dir)
+	mid := filepath.Join(dir, segs[1])
+	if err := os.WriteFile(mid, []byte("this was never a fleetlog segment"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), options{dir: dir, dump: true}, &out); err == nil {
+		t.Error("dump streamed past a corrupt segment")
+	}
+	if err := run(context.Background(), options{dir: dir}, &out); err == nil {
+		t.Error("rollup streamed past a corrupt segment")
+	}
+}
+
+// TestRunCompactUnwritableTarget points -compact at a path where a
+// regular file already sits, so the destination directory cannot be
+// created.
+func TestRunCompactUnwritableTarget(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir)
+	dst := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(dst, []byte("x"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), options{dir: dir, compact: dst}, &out); err == nil {
+		t.Error("compact into a file path succeeded")
+	}
+}
+
+// TestRunGC drives the retention mode end to end: collect down to two
+// segments, verify the removal report, verify the survivors still
+// roll up, and verify a second pass is a no-op.
+func TestRunGC(t *testing.T) {
+	dir := t.TempDir()
+	segs := writeSegmentedLog(t, dir)
+
+	var out bytes.Buffer
+	if err := run(context.Background(), options{dir: dir, gc: 2, gcOn: true}, &out); err != nil {
+		t.Fatalf("run -gc 2: %v", err)
+	}
+	var rep struct {
+		Removed []string `json:"removed"`
+		Kept    int      `json:"kept"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("gc report output: %v\n%s", err, out.String())
+	}
+	if rep.Kept != 2 || len(rep.Removed) != len(segs)-2 {
+		t.Errorf("gc removed %v kept %d, want %d removed", rep.Removed, rep.Kept, len(segs)-2)
+	}
+	if got := segmentNames(t, dir); len(got) != 2 || got[1] != segs[len(segs)-1] {
+		t.Errorf("segments after gc: %v (tail was %s)", got, segs[len(segs)-1])
+	}
+
+	// The survivors are still a valid log.
+	out.Reset()
+	if err := run(context.Background(), options{dir: dir}, &out); err != nil {
+		t.Fatalf("rollup after gc: %v", err)
+	}
+
+	// GC is idempotent: a second pass at the same retention removes
+	// nothing.
+	out.Reset()
+	if err := run(context.Background(), options{dir: dir, gc: 2, gcOn: true}, &out); err != nil {
+		t.Fatalf("second -gc 2: %v", err)
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("gc report output: %v", err)
+	}
+	if len(rep.Removed) != 0 {
+		t.Errorf("idempotent gc removed %v", rep.Removed)
+	}
+}

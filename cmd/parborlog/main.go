@@ -10,6 +10,7 @@
 //	parborlog -dir /var/lib/parbord/log              # rollup JSON to stdout
 //	parborlog -dir /var/lib/parbord/log -dump        # raw events, JSON lines
 //	parborlog -dir /var/lib/parbord/log -compact out # rewrite minus torn tails
+//	parborlog -dir /var/lib/parbord/log -gc 4        # drop all but 4 newest segments
 //
 // -mem-budget bounds the classifier's in-memory key set; past it,
 // sorted runs spill to -spill (default: a temp dir) and are k-way
@@ -39,17 +40,24 @@ func main() {
 		memBudget = flag.Int("mem-budget", 0, "classifier in-memory key budget before spilling (0 = default)")
 		spill     = flag.String("spill", "", "directory for spill runs (empty = temp dir)")
 		segBytes  = flag.Int64("segment-bytes", 0, "segment size for -compact output (0 = default)")
+		gc        = flag.Int("gc", -1, "garbage-collect the log to this many newest segments (the active tail always survives); -1 = off")
 	)
 	flag.Parse()
 
-	if err := run(context.Background(), options{
+	opts := options{
 		dir:       *dir,
 		dump:      *dump,
 		compact:   *compact,
 		memBudget: *memBudget,
 		spill:     *spill,
 		segBytes:  *segBytes,
-	}, os.Stdout); err != nil {
+	}
+	// -gc 0 is a meaningful request (keep only the active tail), so
+	// the off state is the -1 default, not the zero value.
+	if *gc >= 0 {
+		opts.gc, opts.gcOn = *gc, true
+	}
+	if err := run(context.Background(), opts, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "parborlog: %v\n", err)
 		os.Exit(1)
 	}
@@ -62,14 +70,22 @@ type options struct {
 	memBudget int
 	spill     string
 	segBytes  int64
+	gc        int
+	gcOn      bool
 }
 
 func run(ctx context.Context, opts options, stdout io.Writer) error {
 	if opts.dir == "" {
 		return errors.New("-dir is required")
 	}
-	if opts.dump && opts.compact != "" {
-		return errors.New("-dump and -compact are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{opts.dump, opts.compact != "", opts.gcOn} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return errors.New("-dump, -compact, and -gc are mutually exclusive")
 	}
 	if err := ctx.Err(); err != nil {
 		return err
@@ -79,9 +95,27 @@ func run(ctx context.Context, opts options, stdout io.Writer) error {
 		return runCompact(opts, stdout)
 	case opts.dump:
 		return runDump(opts, stdout)
+	case opts.gcOn:
+		return runGC(opts, stdout)
 	default:
 		return runRollup(opts, stdout)
 	}
+}
+
+// runGC applies the retention policy and prints what was removed.
+func runGC(opts options, stdout io.Writer) error {
+	keep := opts.gc
+	if keep < 1 {
+		keep = 1 // GC never removes the active tail
+	}
+	removed, err := fleetlog.GC(opts.dir, keep)
+	if err != nil {
+		return err
+	}
+	if removed == nil {
+		removed = []string{}
+	}
+	return writeJSON(stdout, map[string]any{"removed": removed, "kept": keep})
 }
 
 // runRollup streams the log through the out-of-core classifier and

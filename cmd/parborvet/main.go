@@ -1,9 +1,10 @@
-// Command parborvet is the repository's analysis suite: five
+// Command parborvet is the repository's analysis suite: six
 // golang.org/x/tools/go/analysis passes that mechanically enforce the
 // invariants every published figure rests on — seed-determinism of
 // the simulation packages, per-shard rng stream derivation, context
-// threading through row/chip loops, nil-safe observability, and the
-// zero-allocation pass hot loop.
+// threading through row/chip loops, nil-safe observability, the
+// zero-allocation pass hot loop, and storage packages routing durable
+// I/O through the parbor/internal/faultfs seam.
 //
 // It speaks the go vet unitchecker protocol, so it is run through the
 // build system rather than standalone:
@@ -14,13 +15,15 @@
 // or simply `make vet`. Individual analyzers can be selected the
 // usual way: `go vet -vettool=$PWD/parborvet -simdeterminism ./...`.
 // DESIGN.md section 10 documents each analyzer and the
-// //parbor:hotpath / //parbor:wallclock annotation contract.
+// //parbor:hotpath / //parbor:wallclock / //parbor:rawfs annotation
+// contract.
 package main
 
 import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"parbor/internal/analyzers/ctxthread"
+	"parbor/internal/analyzers/faultfs"
 	"parbor/internal/analyzers/hotalloc"
 	"parbor/internal/analyzers/obsnilsafe"
 	"parbor/internal/analyzers/rngstream"
@@ -34,5 +37,6 @@ func main() {
 		ctxthread.Analyzer,
 		obsnilsafe.Analyzer,
 		hotalloc.Analyzer,
+		faultfs.Analyzer,
 	)
 }

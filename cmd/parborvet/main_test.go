@@ -15,6 +15,7 @@ var analyzers = []string{
 	"ctxthread",
 	"obsnilsafe",
 	"hotalloc",
+	"faultfs",
 }
 
 // TestKnownBadFiresEachAnalyzerOnce runs the full vet pipeline over
@@ -66,6 +67,7 @@ func TestKnownBadFailsPlainVet(t *testing.T) {
 		"ctxthread":      "holds a context but calls",
 		"obsnilsafe":     "nil-receiver guard",
 		"hotalloc":       "fmt.Sprintf in //parbor:hotpath",
+		"faultfs":        "bypasses the fault plane",
 	}
 	for name, fragment := range fragments {
 		if !strings.Contains(out, fragment) {

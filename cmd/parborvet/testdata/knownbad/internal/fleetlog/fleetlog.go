@@ -1,0 +1,10 @@
+// Package fleetlog trips faultfs exactly once: a direct os.WriteFile
+// in a storage-scope package, bypassing the fault-injection seam.
+package fleetlog
+
+import "os"
+
+// Persist writes durable state without going through the seam.
+func Persist(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

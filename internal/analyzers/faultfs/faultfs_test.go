@@ -1,0 +1,11 @@
+package faultfs_test
+
+import (
+	"testing"
+
+	"parbor/internal/analyzers/atest"
+)
+
+func TestFaultfs(t *testing.T) {
+	atest.Run(t, "../testdata/faultfs")
+}

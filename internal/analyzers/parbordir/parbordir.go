@@ -1,7 +1,7 @@
 // Package parbordir parses the repository's //parbor:* source
 // directives, shared by every analyzer in internal/analyzers.
 //
-// Two directives exist:
+// Three directives exist:
 //
 //	//parbor:hotpath
 //	    On a function's doc comment. Declares the function part of the
@@ -18,6 +18,14 @@
 //	    simulation results (observational-only timing, stall
 //	    detection, ...).
 //
+//	//parbor:rawfs <justification>
+//	    Same placement rules. Opts a site in a storage package out of
+//	    the faultfs analyzer's requirement that durable I/O go through
+//	    the parbor/internal/faultfs seam. Justification mandatory, for
+//	    the same reason: every bypass of the fault plane records why
+//	    the write cannot corrupt durable state (scratch files, spill
+//	    runs that are re-derived on loss, ...).
+//
 // Directive comments deliberately use the Go directive shape (no
 // space after //) so gofmt keeps them glued to their declarations.
 package parbordir
@@ -33,7 +41,17 @@ const (
 	Hotpath = "parbor:hotpath"
 	// Wallclock is the //parbor:wallclock directive name.
 	Wallclock = "parbor:wallclock"
+	// Rawfs is the //parbor:rawfs directive name: it opts a site in a
+	// storage package out of the faultfs seam requirement.
+	Rawfs = "parbor:rawfs"
 )
+
+// needsJustification lists the directives whose bare form (no
+// trailing explanation) is itself a diagnostic.
+var needsJustification = map[string]bool{
+	Wallclock: true,
+	Rawfs:     true,
+}
 
 // parse splits a comment into (directive, justification) if it is a
 // //parbor:* directive, else returns ok=false.
@@ -71,8 +89,8 @@ func FuncHas(decl *ast.FuncDecl, directive string) bool {
 
 // site records one occurrence of a directive.
 type site struct {
-	pos           token.Pos
-	justification string
+	pos  token.Pos
+	name string
 }
 
 // Index holds every //parbor:* directive of one package, resolved to
@@ -88,7 +106,7 @@ type Index struct {
 	// functions annotated via their doc comment.
 	funcs map[string][][2]token.Pos
 	// bare lists directives that require a justification but have
-	// none (currently only wallclock).
+	// none (wallclock and rawfs).
 	bare []site
 }
 
@@ -123,8 +141,8 @@ func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
 				line := tf.Line(c.Pos())
 				set[line] = true
 				set[line+1] = true
-				if name == Wallclock && justification == "" {
-					ix.bare = append(ix.bare, site{pos: c.Pos()})
+				if needsJustification[name] && justification == "" {
+					ix.bare = append(ix.bare, site{pos: c.Pos(), name: name})
 				}
 			}
 		}
@@ -160,12 +178,14 @@ func (ix *Index) SuppressedAt(directive string, pos token.Pos) bool {
 	return false
 }
 
-// BarePositions returns the positions of directives that demand a
-// justification but carry none.
-func (ix *Index) BarePositions() []token.Pos {
-	out := make([]token.Pos, 0, len(ix.bare))
+// BarePositions returns the positions of the named directive's
+// occurrences that demand a justification but carry none.
+func (ix *Index) BarePositions(directive string) []token.Pos {
+	var out []token.Pos
 	for _, s := range ix.bare {
-		out = append(out, s.pos)
+		if s.name == directive {
+			out = append(out, s.pos)
+		}
 	}
 	return out
 }

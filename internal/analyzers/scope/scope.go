@@ -39,6 +39,14 @@ var Simulation = map[string]bool{
 	"rng": true, "scramble": true, "sim": true, "testtime": true,
 }
 
+// Storage is the set of packages that own durable on-disk state.
+// Inside them the faultfs analyzer requires every file mutation to go
+// through the parbor/internal/faultfs seam, so the crash sweep and
+// disk-chaos soak exercise every write path the daemon has.
+var Storage = map[string]bool{
+	"checkpoint": true, "fleet": true, "fleetlog": true,
+}
+
 // CtxThreaded is the set of packages whose exported entry points
 // drive row/chip loops and must thread context.Context (ctxthread).
 var CtxThreaded = map[string]bool{

@@ -67,7 +67,7 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 	}
 	dir := parbordir.NewIndex(pass.Fset, libFiles)
-	for _, pos := range dir.BarePositions() {
+	for _, pos := range dir.BarePositions(parbordir.Wallclock) {
 		pass.Reportf(pos, "//parbor:wallclock needs a justification: state why reading ambient state cannot perturb simulation results")
 	}
 	for _, f := range libFiles {

@@ -1,0 +1,3 @@
+module fsfix
+
+go 1.22

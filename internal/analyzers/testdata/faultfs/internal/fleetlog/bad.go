@@ -1,0 +1,29 @@
+// Package fleetlog is a faultfs fixture: its path tail places it in
+// the storage scope, so direct os file mutations must be flagged.
+package fleetlog
+
+import "os"
+
+// Persist writes durable state with every banned call shape.
+func Persist(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want faultfs `os.WriteFile in a storage package bypasses the fault plane`
+		return err
+	}
+	f, err := os.Create(path + ".idx") // want faultfs `os.Create in a storage package bypasses the fault plane`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := os.OpenFile(path+".seg", os.O_CREATE|os.O_WRONLY, 0o644) // want faultfs `os.OpenFile in a storage package bypasses the fault plane`
+	if err != nil {
+		return err
+	}
+	return g.Close()
+}
+
+// Scratch carries a rawfs opt-out with no justification, which is
+// itself a diagnostic.
+func Scratch(path string) error {
+	/* want faultfs `needs a justification` */ //parbor:rawfs
+	return os.WriteFile(path, nil, 0o600)
+}

@@ -1,0 +1,14 @@
+package fleetlog
+
+import (
+	"os"
+	"testing"
+)
+
+// Test files are exempt: tests legitimately fabricate on-disk debris
+// (torn segments, corrupt headers) with direct os calls.
+func TestFixture(t *testing.T) {
+	if err := os.WriteFile(t.TempDir()+"/x.seg", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

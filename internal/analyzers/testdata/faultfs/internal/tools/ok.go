@@ -1,0 +1,10 @@
+// Package tools sits outside the storage scope: direct os calls are
+// fine here.
+package tools
+
+import "os"
+
+// Dump writes a report file; tools own no durable daemon state.
+func Dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

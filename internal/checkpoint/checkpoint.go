@@ -32,6 +32,7 @@ import (
 	"os"
 
 	"parbor/internal/dram"
+	"parbor/internal/faultfs"
 	"parbor/internal/onlinetest"
 )
 
@@ -165,13 +166,24 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 	return &s, nil
 }
 
-// WriteFile serializes the snapshot as indented JSON to path.
+// WriteFile serializes the snapshot as indented JSON to path,
+// atomically: a crash at any point leaves either the previous
+// snapshot or the complete new one, never a torn hybrid — a resumer
+// must never be handed half a checkpoint.
 func (s *Snapshot) WriteFile(path string) error {
+	return s.WriteFileFS(faultfs.OS{}, path)
+}
+
+// WriteFileFS is WriteFile through an explicit filesystem seam.
+func (s *Snapshot) WriteFileFS(fsys faultfs.FS, path string) error {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
 	data, err := s.Marshal()
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := faultfs.WriteFileAtomic(fsys, path, data, 0o644); err != nil {
 		return fmt.Errorf("checkpoint: writing snapshot: %w", err)
 	}
 	return nil

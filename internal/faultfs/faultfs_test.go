@@ -1,0 +1,428 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestOSPassthroughRoundTrip exercises every FS method on the real
+// filesystem once, so the passthrough itself is known-good before the
+// injector builds on it.
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	var fsys OS
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := fsys.MkdirAll(sub, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	path := filepath.Join(sub, "f.txt")
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	g, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := g.WriteAt([]byte("H"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := g.ReadAt(buf, 0); err != nil || string(buf) != "Hello" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+	if _, err := g.Seek(1, 0); err != nil {
+		t.Fatalf("Seek: %v", err)
+	}
+	st, err := g.Stat()
+	if err != nil || st.Size() != 5 {
+		t.Fatalf("Stat = %v, %v", st, err)
+	}
+	g.Close()
+	dst := filepath.Join(sub, "g.txt")
+	if err := fsys.Rename(path, dst); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fsys.SyncDir(sub); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	ents, err := fsys.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fsys.Remove(dst); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := fsys.WriteFile(dst, []byte("x"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+}
+
+// TestWriteFileAtomicReplacesAndCleansTemp checks the happy path:
+// contents replaced, temp file gone.
+func TestWriteFileAtomicReplacesAndCleansTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(OS{}, path, []byte("v1"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	if err := WriteFileAtomic(OS{}, path, []byte("v2"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("temp file survived a successful atomic write: %v", err)
+	}
+}
+
+// TestInjectorZeroConfigIsPassthrough proves a fault-free injector
+// changes nothing but the trace.
+func TestInjectorZeroConfigIsPassthrough(t *testing.T) {
+	inj, err := NewInjector(OS{}, InjectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := WriteFileAtomic(inj, path, []byte("payload"), 0o644); err != nil {
+		t.Fatalf("atomic write through injector: %v", err)
+	}
+	data, err := inj.ReadFile(path)
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if inj.Ops() == 0 {
+		t.Fatal("no operations traced")
+	}
+	if inj.Faults() != 0 {
+		t.Fatalf("fault-free injector recorded %d faults: %+v", inj.Faults(), inj.Trace())
+	}
+}
+
+// scenario performs a fixed sequence of filesystem work whose op
+// trace the determinism and crash tests replay.
+func scenario(fsys FS, dir string) error {
+	path := filepath.Join(dir, "log.bin")
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := f.Write(bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return WriteFileAtomic(fsys, filepath.Join(dir, "meta.json"), []byte(`{"ok":true}`), 0o644)
+}
+
+// TestInjectorDeterministicSchedule runs the same scenario twice with
+// the same seed and asserts the complete traces — faults included —
+// are identical.
+func TestInjectorDeterministicSchedule(t *testing.T) {
+	run := func() []Op {
+		inj, err := NewInjector(OS{}, InjectorConfig{
+			Seed:           42,
+			WriteErrProb:   0.2,
+			ShortWriteProb: 0.2,
+			SyncErrProb:    0.3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scenario(inj, t.TempDir()) // errors expected; the trace is the point
+		return inj.Trace()
+	}
+	a, b := run(), run()
+	// Paths differ per TempDir; compare the schedule shape.
+	for i := range a {
+		a[i].Path, b[i].Path = "", ""
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%+v\n%+v", a, b)
+	}
+	faults := 0
+	for _, op := range a {
+		if op.Fault != "" {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("probabilistic config injected nothing; seed/probability plumbing broken")
+	}
+}
+
+// TestShortWriteLeavesRealPrefix asserts a short write really puts
+// the prefix on disk — the recovery paths must see genuine torn
+// bytes, not a clean miss.
+func TestShortWriteLeavesRealPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	// Find a seed whose first write op draws a short write.
+	for seed := uint64(0); seed < 200; seed++ {
+		inj, err := NewInjector(OS{}, InjectorConfig{Seed: seed, ShortWriteProb: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := inj.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := []byte("0123456789abcdef")
+		n, werr := f.Write(payload)
+		f.Close()
+		if werr == nil {
+			continue
+		}
+		if !errors.Is(werr, ErrShortWrite) {
+			t.Fatalf("unexpected write error %v", werr)
+		}
+		if n <= 0 || n >= len(payload) {
+			t.Fatalf("short write wrote %d of %d bytes; want a strict nonempty prefix", n, len(payload))
+		}
+		onDisk, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(onDisk, payload[:n]) {
+			t.Fatalf("disk holds %q, want the reported prefix %q", onDisk, payload[:n])
+		}
+		if !IsTransient(werr) {
+			t.Fatal("probabilistic short write must be transient")
+		}
+		return
+	}
+	t.Fatal("no seed in [0,200) produced a short write at p=0.5; rng plumbing broken")
+}
+
+// TestCrashStopsTheWorld asserts that after the crash point fires,
+// every operation — including on already-open handles — fails with
+// ErrCrashed.
+func TestCrashStopsTheWorld(t *testing.T) {
+	dir := t.TempDir()
+	inj, err := NewInjector(OS{}, InjectorConfig{CrashOp: 3, CrashByte: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := inj.Create(filepath.Join(dir, "a")) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrCrashed) { // op 3: crash
+		t.Fatalf("crash op returned %v, want ErrCrashed", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector not in crashed state")
+	}
+	if _, err := f.Write([]byte("z")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write on open handle: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if _, err := inj.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	if _, err := inj.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash readdir: %v", err)
+	}
+	cerr := f.Close()
+	if !errors.Is(cerr, ErrCrashed) {
+		t.Fatalf("post-crash close: %v", cerr)
+	}
+	if IsTransient(cerr) {
+		t.Fatal("crash errors must not be transient")
+	}
+	// CrashByte made the crashing write land in full before the stop.
+	data, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil || string(data) != "xy" {
+		t.Fatalf("disk holds %q, %v; want torn state \"xy\"", data, err)
+	}
+}
+
+// TestBreakAndHeal models a volume outage: mutating ops fail
+// persistently, reads keep working, and Heal restores service.
+func TestBreakAndHeal(t *testing.T) {
+	dir := t.TempDir()
+	inj, err := NewInjector(OS{}, InjectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "f")
+	if err := inj.WriteFile(path, []byte("before"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj.Break(nil)
+	werr := inj.WriteFile(path, []byte("during"), 0o644)
+	if !errors.Is(werr, ErrIO) {
+		t.Fatalf("broken write: %v, want ErrIO", werr)
+	}
+	if IsTransient(werr) {
+		t.Fatal("Break faults must be persistent: the daemon's retry budget must not spin on them")
+	}
+	if _, err := inj.Create(filepath.Join(dir, "g")); err == nil {
+		t.Fatal("broken create succeeded")
+	}
+	if data, err := inj.ReadFile(path); err != nil || string(data) != "before" {
+		t.Fatalf("reads must survive an outage: %q, %v", data, err)
+	}
+	inj.Heal()
+	if err := inj.WriteFile(path, []byte("after"), 0o644); err != nil {
+		t.Fatalf("healed write: %v", err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "after" {
+		t.Fatalf("disk holds %q after heal", data)
+	}
+}
+
+// TestReadEIO asserts read faults surface as ErrIO through both Read
+// and ReadFile.
+func TestReadEIO(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewInjector(OS{}, InjectorConfig{Seed: 7, ReadErrProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inj.ReadFile(path); !errors.Is(err, ErrIO) {
+		t.Fatalf("ReadFile: %v, want ErrIO", err)
+	}
+	f, err := inj.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Read(make([]byte, 4)); !errors.Is(err, ErrIO) {
+		t.Fatalf("Read: %v, want ErrIO", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 4), 0); !errors.Is(err, ErrIO) {
+		t.Fatalf("ReadAt: %v, want ErrIO", err)
+	}
+}
+
+// TestInjectorConfigValidate covers the rejection table.
+func TestInjectorConfigValidate(t *testing.T) {
+	cases := []InjectorConfig{
+		{WriteErrProb: -0.1},
+		{ShortWriteProb: 2},
+		{SyncErrProb: 1.5},
+		{ReadErrProb: -1},
+		{RenameErrProb: 7},
+		{CrashOp: -1},
+		{CrashByte: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewInjector(OS{}, cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+}
+
+// TestWriteFileAtomicCrashSweep is the point of the atomic-persist
+// contract: enumerate every operation WriteFileAtomic performs, crash
+// at each one (both before and after the op commits), and assert the
+// visible file is always exactly the old contents or exactly the new
+// contents — never a prefix, never a hybrid, never unparseable
+// leftovers at the real path.
+func TestWriteFileAtomicCrashSweep(t *testing.T) {
+	const oldContent = "OLD-STATE-0123456789"
+	const newContent = "NEW-STATE-abcdefghij-longer-than-old"
+
+	// Counting pass: how many ops does one atomic write perform?
+	counter, err := NewInjector(OS{}, InjectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	{
+		dir := t.TempDir()
+		path := filepath.Join(dir, "state")
+		if err := os.WriteFile(path, []byte(oldContent), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFileAtomic(counter, path, []byte(newContent), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := counter.Ops()
+	if total < 5 { // open, write, sync, close-adjacent ops, rename, syncdir
+		t.Fatalf("atomic write traced only %d ops: %+v", total, counter.Trace())
+	}
+
+	for _, hasOld := range []bool{true, false} {
+		for crashOp := 1; crashOp <= total; crashOp++ {
+			for _, crashByte := range []int{0, 3, 1 << 30} {
+				name := fmt.Sprintf("old=%v/op=%d/byte=%d", hasOld, crashOp, crashByte)
+				dir := t.TempDir()
+				path := filepath.Join(dir, "state")
+				if hasOld {
+					if err := os.WriteFile(path, []byte(oldContent), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				inj, err := NewInjector(OS{}, InjectorConfig{CrashOp: crashOp, CrashByte: crashByte})
+				if err != nil {
+					t.Fatal(err)
+				}
+				werr := WriteFileAtomic(inj, path, []byte(newContent), 0o644)
+				if !inj.Crashed() {
+					t.Fatalf("%s: crash point never fired (%d ops ran)", name, inj.Ops())
+				}
+				// The dir-sync crash-after point is the one "failure"
+				// where the new state is fully visible; every other
+				// crash must surface an error.
+				if werr == nil && crashOp != total {
+					t.Fatalf("%s: atomic write reported success through a crash", name)
+				}
+				data, rerr := os.ReadFile(path)
+				switch {
+				case rerr == nil && string(data) == newContent:
+					// Committed: fine at or after the rename point.
+				case rerr == nil && hasOld && string(data) == oldContent:
+					// Rolled back to the old state: fine before it.
+				case errors.Is(rerr, fs.ErrNotExist) && !hasOld:
+					// Never existed, still doesn't: fine.
+				default:
+					t.Fatalf("%s: path holds %q (err %v): neither old nor new state", name, data, rerr)
+				}
+			}
+		}
+	}
+}

@@ -74,7 +74,10 @@ func moduleStatus(m *Module) ModuleStatus {
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "modules": d.reg.Len()})
+		// Always 200: a degraded log is an operator signal, not a
+		// liveness failure — load balancers must not kill a daemon
+		// that is detecting fine and merely buffering its log.
+		writeJSON(w, http.StatusOK, d.Health())
 	})
 	mux.HandleFunc("POST /v1/modules", d.handleEnroll)
 	mux.HandleFunc("GET /v1/modules", d.handleList)

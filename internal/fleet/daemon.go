@@ -3,13 +3,15 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"parbor/internal/checkpoint"
+	"parbor/internal/faultfs"
 	"parbor/internal/fleetlog"
 	"parbor/internal/obs"
 )
@@ -51,36 +53,54 @@ type Config struct {
 	// LogSegmentBytes caps each log segment; <= 0 selects the fleetlog
 	// default.
 	LogSegmentBytes int64
+	// LogRetain, when > 0, garbage-collects the event log down to the
+	// newest LogRetain segments after each drain (once the state is
+	// persisted). The active tail segment always survives.
+	LogRetain int
+	// LogBufferCap bounds the events held in memory while the log is
+	// degraded; <= 0 selects a default (defaultLogBufferCap). Events
+	// beyond the cap are dropped and counted.
+	LogBufferCap int
+	// FS is the filesystem seam all durable state (event log, state
+	// entries) goes through; nil selects the real filesystem. Tests
+	// and parbord's -diskchaos-seed flag swap in a fault injector.
+	FS faultfs.FS
 }
 
 // Daemon ties the fleet together: registry + pool + fleet-level
 // observability + persistence. One Daemon is one parbord process.
 type Daemon struct {
 	cfg  Config
+	fsys faultfs.FS
 	reg  *Registry
 	pool *Pool
 	col  *obs.Collector
-	logw *fleetlog.Writer
+	log  *logSink
 }
 
 // NewDaemon builds an idle daemon; call Start (or Run) to launch the
 // workers, and Close when done so the event log is flushed shut.
 func NewDaemon(cfg Config) (*Daemon, error) {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
 	d := &Daemon{
 		cfg:  cfg,
+		fsys: fsys,
 		reg:  NewRegistry(),
 		pool: NewPool(cfg.Workers),
 		col:  obs.NewCollector(),
 	}
 	if cfg.LogDir != "" {
-		if err := os.MkdirAll(cfg.LogDir, 0o755); err != nil {
-			return nil, fmt.Errorf("fleet: creating log dir: %w", err)
-		}
-		w, err := fleetlog.OpenWriter(cfg.LogDir, fleetlog.WriterOptions{SegmentBytes: cfg.LogSegmentBytes})
+		sink, err := newLogSink(cfg.LogDir, fleetlog.WriterOptions{
+			SegmentBytes: cfg.LogSegmentBytes,
+			FS:           fsys,
+		}, cfg.LogBufferCap, d.col)
 		if err != nil {
 			return nil, err
 		}
-		d.logw = w
+		d.log = sink
 	}
 	return d, nil
 }
@@ -88,10 +108,10 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 // sink returns the event-log append hook for enrolled modules, or nil
 // when no log is configured.
 func (d *Daemon) sink() func(fleetlog.Event) error {
-	if d.logw == nil {
+	if d.log == nil {
 		return nil
 	}
-	return d.logw.Append
+	return d.log.append
 }
 
 // Registry exposes the membership table (read-mostly; mutate through
@@ -138,30 +158,38 @@ func (d *Daemon) Start(ctx context.Context) { d.pool.Start(ctx) }
 // to it.
 func (d *Daemon) Drain() error {
 	d.pool.Drain()
-	if d.logw != nil {
+	if d.log != nil {
 		// Sync the log BEFORE persisting checkpoints: a crash between
 		// the two leaves the log ahead of the state, and replayed
 		// epochs re-log duplicate events the analytics deduplicate.
 		// The other order could lose events for checkpointed epochs.
-		if err := d.logw.Sync(); err != nil {
+		// A log failure here degrades (it is the sink's problem now)
+		// rather than aborting the drain — the checkpoints must land
+		// regardless.
+		d.log.drain()
+	}
+	if d.cfg.StateDir != "" {
+		if err := d.SaveState(); err != nil {
 			return err
 		}
 	}
-	if d.cfg.StateDir == "" {
-		return nil
+	if d.log != nil && d.cfg.LogRetain > 0 {
+		// Retention GC only after the state landed: the newest
+		// checkpoints supersede the collected segments' events.
+		if _, err := fleetlog.GCFS(d.fsys, d.cfg.LogDir, d.cfg.LogRetain); err != nil {
+			return fmt.Errorf("fleet: log retention: %w", err)
+		}
 	}
-	return d.SaveState()
+	return nil
 }
 
 // Close releases the daemon's file-backed resources (the event log).
 // Call after Drain; idempotent.
 func (d *Daemon) Close() error {
-	if d.logw == nil {
+	if d.log == nil {
 		return nil
 	}
-	w := d.logw
-	d.logw = nil
-	return w.Close()
+	return d.log.close()
 }
 
 // Analytics classifies the accumulated failure-event log: the
@@ -172,7 +200,7 @@ func (d *Daemon) Analytics() (*fleetlog.Rollup, error) {
 	if d.cfg.LogDir == "" {
 		return nil, fmt.Errorf("fleet: no event log configured")
 	}
-	return fleetlog.Analyze(d.cfg.LogDir, fleetlog.ClassifierConfig{})
+	return fleetlog.Analyze(d.cfg.LogDir, fleetlog.ClassifierConfig{FS: d.fsys})
 }
 
 // Run is the daemon main loop: start workers, wait for ctx
@@ -187,6 +215,40 @@ func (d *Daemon) Run(ctx context.Context) error {
 
 // Quiesce blocks until no module wants another quantum.
 func (d *Daemon) Quiesce() { d.pool.Quiesce() }
+
+// Health is the /healthz body: liveness plus the log-degradation
+// state. OK is false while the event log is degraded — the daemon is
+// serving and detecting, but its record is running on borrowed
+// memory and the operator should look at Reason.
+type Health struct {
+	OK      bool   `json:"ok"`
+	Status  string `json:"status"`
+	Modules int    `json:"modules"`
+	// Reason is the error that degraded the log, when Status is
+	// "degraded".
+	Reason string `json:"reason,omitempty"`
+	// LogBuffered is how many events are waiting in memory for the
+	// log to recover; LogEventsDropped how many were lost beyond the
+	// buffer cap.
+	LogBuffered      int    `json:"log_buffered,omitempty"`
+	LogEventsDropped uint64 `json:"log_events_dropped,omitempty"`
+}
+
+// Health reports the daemon's current health.
+func (d *Daemon) Health() Health {
+	h := Health{OK: true, Status: "ok", Modules: d.reg.Len()}
+	if d.log != nil {
+		degraded, reason, buffered, dropped := d.log.health()
+		h.LogBuffered = buffered
+		h.LogEventsDropped = dropped
+		if degraded {
+			h.OK = false
+			h.Status = "degraded"
+			h.Reason = reason
+		}
+	}
+	return h
+}
 
 // Rollup summarizes the current fleet.
 func (d *Daemon) Rollup() *Rollup { return BuildRollup(d.reg.List()) }
@@ -215,6 +277,12 @@ func (d *Daemon) Reconcile() error {
 	if got := rep.Counters[CounterEpochs]; got != wantEpochs {
 		return fmt.Errorf("fleet: reconcile: daemon counted %d epochs, modules ran %d", got, wantEpochs)
 	}
+	// The daemon's own report carries the log-degradation counters;
+	// its Reconcile enforces that dropped events imply a recorded
+	// degradation episode.
+	if err := rep.Reconcile(); err != nil {
+		return fmt.Errorf("fleet: reconcile: %w", err)
+	}
 	return nil
 }
 
@@ -231,7 +299,7 @@ func (d *Daemon) SaveState() error {
 	if d.cfg.StateDir == "" {
 		return fmt.Errorf("fleet: no state dir configured")
 	}
-	if err := os.MkdirAll(d.cfg.StateDir, 0o755); err != nil {
+	if err := d.fsys.MkdirAll(d.cfg.StateDir, 0o755); err != nil {
 		return fmt.Errorf("fleet: creating state dir: %w", err)
 	}
 	live := make(map[string]bool)
@@ -242,18 +310,28 @@ func (d *Daemon) SaveState() error {
 			return fmt.Errorf("fleet: marshaling state for %s: %w", m.ID(), err)
 		}
 		path := d.statePath(m.ID())
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		// Atomic replace: a crash mid-save must leave either the old
+		// entry or the new one — a torn half-entry would poison the
+		// next LoadState.
+		if err := faultfs.WriteFileAtomic(d.fsys, path, append(data, '\n'), 0o644); err != nil {
 			return fmt.Errorf("fleet: writing state for %s: %w", m.ID(), err)
 		}
 		live[filepath.Base(path)] = true
 	}
-	names, err := os.ReadDir(d.cfg.StateDir)
+	names, err := d.fsys.ReadDir(d.cfg.StateDir)
 	if err != nil {
 		return fmt.Errorf("fleet: listing state dir: %w", err)
 	}
 	for _, e := range names {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && !live[e.Name()] {
-			if err := os.Remove(filepath.Join(d.cfg.StateDir, e.Name())); err != nil {
+		if e.IsDir() {
+			continue
+		}
+		stale := strings.HasSuffix(e.Name(), ".json") && !live[e.Name()]
+		// A .json.tmp here is debris from a crashed earlier save: every
+		// rename in this save already committed.
+		stale = stale || strings.HasSuffix(e.Name(), ".json.tmp")
+		if stale {
+			if err := d.fsys.Remove(filepath.Join(d.cfg.StateDir, e.Name())); err != nil {
 				return fmt.Errorf("fleet: pruning state entry: %w", err)
 			}
 		}
@@ -268,9 +346,9 @@ func (d *Daemon) LoadState() (int, error) {
 	if d.cfg.StateDir == "" {
 		return 0, fmt.Errorf("fleet: no state dir configured")
 	}
-	entries, err := os.ReadDir(d.cfg.StateDir)
+	entries, err := d.fsys.ReadDir(d.cfg.StateDir)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return 0, nil
 		}
 		return 0, fmt.Errorf("fleet: listing state dir: %w", err)
@@ -285,7 +363,7 @@ func (d *Daemon) LoadState() (int, error) {
 	n := 0
 	for _, name := range names {
 		path := filepath.Join(d.cfg.StateDir, name)
-		data, err := os.ReadFile(path)
+		data, err := d.fsys.ReadFile(path)
 		if err != nil {
 			return n, fmt.Errorf("fleet: reading state entry %s: %w", name, err)
 		}

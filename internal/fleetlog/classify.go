@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 
+	"parbor/internal/faultfs"
 	"parbor/internal/memctl"
 )
 
@@ -68,6 +69,9 @@ type ClassifierConfig struct {
 	// SpillDir holds the temporary sorted runs. Empty selects a fresh
 	// os.MkdirTemp directory that is removed on Finish/Close.
 	SpillDir string
+	// FS is the filesystem seam spill runs and (via Analyze) segment
+	// reads go through; nil selects the real filesystem.
+	FS faultfs.FS
 }
 
 // Classifier folds a stream of events into a Rollup with O(modules)
@@ -108,8 +112,8 @@ func NewClassifier(cfg ClassifierConfig) (*Classifier, error) {
 		spillDir: dir,
 		ownDir:   own,
 		modIDs:   make(map[string]uint32),
-		obs:      newSpillSet(cfg.MaxKeys, dir, "obs"),
-		epochs:   newSpillSet(cfg.MaxKeys, dir, "epoch"),
+		obs:      newSpillSet(cfg.FS, cfg.MaxKeys, dir, "obs"),
+		epochs:   newSpillSet(cfg.FS, cfg.MaxKeys, dir, "epoch"),
 	}, nil
 }
 
@@ -347,7 +351,7 @@ func (c *Classifier) Close() error {
 // offline half of the analytics pipeline (parborlog, and the
 // daemon's /v1/analytics endpoint).
 func Analyze(dir string, cfg ClassifierConfig) (*Rollup, error) {
-	it, err := OpenIter(dir)
+	it, err := OpenIterFS(cfg.FS, dir)
 	if err != nil {
 		return nil, err
 	}

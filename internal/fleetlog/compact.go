@@ -1,9 +1,13 @@
 package fleetlog
 
 import (
+	"errors"
 	"fmt"
 	"io"
-	"os"
+	"io/fs"
+	"path/filepath"
+
+	"parbor/internal/faultfs"
 )
 
 // CompactStats reports what a compaction did.
@@ -19,20 +23,23 @@ type CompactStats struct {
 // size, and torn tails are dropped (they carry no recoverable data).
 // The source is untouched; dst must not already contain segments, so
 // a half-finished compaction cannot be mistaken for a complete one.
+// Both sides go through opts.FS.
 func Compact(srcDir, dstDir string, opts WriterOptions) (CompactStats, error) {
+	opts = opts.withDefaults()
+	fsys := opts.FS
 	var st CompactStats
-	if existing, err := listSegments(dstDir); err == nil && len(existing) > 0 {
+	if existing, err := listSegments(fsys, dstDir); err == nil && len(existing) > 0 {
 		return st, fmt.Errorf("fleetlog: destination %s already holds %d segments", dstDir, len(existing))
-	} else if err != nil && !os.IsNotExist(err) {
+	} else if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return st, fmt.Errorf("fleetlog: listing destination: %w", err)
 	}
-	srcSegs, err := listSegments(srcDir)
+	srcSegs, err := listSegments(fsys, srcDir)
 	if err != nil {
 		return st, fmt.Errorf("fleetlog: listing source: %w", err)
 	}
 	st.SegmentsIn = len(srcSegs)
 
-	it, err := OpenIter(srcDir)
+	it, err := OpenIterFS(fsys, srcDir)
 	if err != nil {
 		return st, err
 	}
@@ -60,10 +67,47 @@ func Compact(srcDir, dstDir string, opts WriterOptions) (CompactStats, error) {
 		return st, err
 	}
 	st.Truncations = len(it.Truncations())
-	outSegs, err := listSegments(dstDir)
+	outSegs, err := listSegments(fsys, dstDir)
 	if err != nil {
 		return st, err
 	}
 	st.SegmentsOut = len(outSegs)
 	return st, nil
+}
+
+// GC removes the oldest segments of a log directory beyond a
+// retention count, returning the filenames it deleted. The newest
+// keep segments survive, and the active tail segment (the
+// highest-numbered one, which a live Writer may still be appending
+// to) is never removed even when keep <= 0. GC is the retention
+// policy for logs that have been compacted or rolled up elsewhere:
+// it deletes data, so callers run it only after the rollup pipeline
+// has consumed the old segments.
+func GC(dir string, keep int) ([]string, error) {
+	return GCFS(faultfs.OS{}, dir, keep)
+}
+
+// GCFS is GC through an explicit filesystem seam.
+func GCFS(fsys faultfs.FS, dir string, keep int) ([]string, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if keep < 1 {
+		keep = 1 // the active tail is never collectable
+	}
+	segs, err := listSegments(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("fleetlog: listing log dir: %w", err)
+	}
+	if len(segs) <= keep {
+		return nil, nil
+	}
+	var removed []string
+	for _, name := range segs[:len(segs)-keep] {
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+			return removed, fmt.Errorf("fleetlog: removing %s: %w", name, err)
+		}
+		removed = append(removed, name)
+	}
+	return removed, nil
 }

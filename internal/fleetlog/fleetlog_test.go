@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"parbor/internal/faultfs"
 	"parbor/internal/memctl"
 )
 
@@ -107,7 +108,7 @@ func TestWriterRotationAndReopen(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.OS{}, dir)
 	if err != nil {
 		t.Fatalf("listSegments: %v", err)
 	}
@@ -138,7 +139,7 @@ func TestOpenWriterRecoversTornTail(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(faultfs.OS{}, dir)
 	path := filepath.Join(dir, segs[len(segs)-1])
 	st, err := os.Stat(path)
 	if err != nil {
@@ -216,7 +217,7 @@ func TestCompact(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tear the tail so compaction has damage to drop.
-	segs, _ := listSegments(src)
+	segs, _ := listSegments(faultfs.OS{}, src)
 	last := filepath.Join(src, segs[len(segs)-1])
 	st, _ := os.Stat(last)
 	if err := os.Truncate(last, st.Size()-2); err != nil {

@@ -8,8 +8,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
+
+	"parbor/internal/faultfs"
 )
 
 // errSegEnd is the clean end of a segment: the last record closed
@@ -38,7 +39,7 @@ type Truncation struct {
 // segReader streams one segment's record payloads without ever
 // holding more than one record in memory.
 type segReader struct {
-	f    *os.File
+	f    faultfs.File
 	br   *bufio.Reader
 	size int64 // file size at open
 	off  int64 // offset of the next unread record
@@ -50,8 +51,8 @@ type segReader struct {
 // header write itself); a file with the wrong magic or version is
 // corrupt — it was never a fleetlog segment, and recovery must not
 // quietly eat it.
-func openSegment(path string) (*segReader, error) {
-	f, err := os.Open(path)
+func openSegment(fsys faultfs.FS, path string) (*segReader, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -63,6 +64,10 @@ func openSegment(path string) (*segReader, error) {
 	sr := &segReader{f: f, br: bufio.NewReader(f), size: st.Size()}
 	hdr := make([]byte, segHeaderLen)
 	if _, err := io.ReadFull(sr.br, hdr); err != nil {
+		if isInjectedFault(err) {
+			f.Close()
+			return nil, fmt.Errorf("fleetlog: reading %s header: %w", filepath.Base(path), err)
+		}
 		// Shorter than a header: everything is a torn prefix, but if
 		// the bytes present disagree with the header they are not a
 		// tear, they are a different file.
@@ -107,6 +112,9 @@ func (sr *segReader) next() ([]byte, error) {
 	for shift := uint(0); ; shift += 7 {
 		b, err := sr.br.ReadByte()
 		if err != nil {
+			if isInjectedFault(err) {
+				return nil, fmt.Errorf("fleetlog: reading record length at offset %d: %w", sr.off, err)
+			}
 			// A truncated varint cannot decode to a different valid
 			// value — the last surviving byte still has its
 			// continuation bit — so a failure here is a tear, not
@@ -143,6 +151,9 @@ func (sr *segReader) next() ([]byte, error) {
 	}
 	buf := sr.buf[:need]
 	if _, err := io.ReadFull(sr.br, buf); err != nil {
+		if isInjectedFault(err) {
+			return nil, fmt.Errorf("fleetlog: reading record at offset %d: %w", sr.off, err)
+		}
 		return nil, errTorn{cleanLen: sr.off}
 	}
 	payload := buf[:plen]
@@ -161,12 +172,22 @@ func (sr *segReader) next() ([]byte, error) {
 
 func (sr *segReader) close() error { return sr.f.Close() }
 
+// isInjectedFault distinguishes an injected device fault (read EIO, a
+// crashed world) from a genuinely short file. An unreadable sector is
+// a hard error, not a torn tail: recovery must not truncate good data
+// it merely failed to read.
+func isInjectedFault(err error) bool {
+	var oe *faultfs.OpError
+	return errors.As(err, &oe)
+}
+
 // Iter streams a log directory's events in segment order, one record
 // at a time. Torn tails are recovered, recorded, and skipped; they
 // never corrupt the stream. An Iter may read a directory that a
 // Writer is appending to — at worst it sees the current segment's
 // half-written last record as a (transient) truncation.
 type Iter struct {
+	fsys    faultfs.FS
 	dir     string
 	pending []string
 	cur     *segReader
@@ -175,14 +196,22 @@ type Iter struct {
 	events  int
 }
 
-// OpenIter opens a log directory for streaming. A directory with no
-// segments yields io.EOF immediately.
+// OpenIter opens a log directory on the real filesystem for
+// streaming. A directory with no segments yields io.EOF immediately.
 func OpenIter(dir string) (*Iter, error) {
-	segs, err := listSegments(dir)
+	return OpenIterFS(faultfs.OS{}, dir)
+}
+
+// OpenIterFS is OpenIter through an explicit filesystem seam.
+func OpenIterFS(fsys faultfs.FS, dir string) (*Iter, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, fmt.Errorf("fleetlog: listing log dir: %w", err)
 	}
-	return &Iter{dir: dir, pending: segs}, nil
+	return &Iter{fsys: fsys, dir: dir, pending: segs}, nil
 }
 
 // Next returns the next event, or io.EOF when the log is exhausted.
@@ -195,7 +224,7 @@ func (it *Iter) Next() (Event, error) {
 			}
 			name := it.pending[0]
 			it.pending = it.pending[1:]
-			sr, err := openSegment(filepath.Join(it.dir, name))
+			sr, err := openSegment(it.fsys, filepath.Join(it.dir, name))
 			if err != nil {
 				return Event{}, err
 			}

@@ -6,9 +6,10 @@ import (
 	"container/heap"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
+
+	"parbor/internal/faultfs"
 )
 
 // The classifier's working set is a *set* of fixed-size sort keys:
@@ -34,6 +35,7 @@ type spillKey [keyBytes]byte
 // union of all runs plus the residue in sorted order. Disk usage is
 // O(total distinct-ish keys); memory stays O(limit + runs).
 type spillSet struct {
+	fsys   faultfs.FS
 	limit  int
 	dir    string
 	prefix string
@@ -44,8 +46,12 @@ type spillSet struct {
 	spilled int
 }
 
-func newSpillSet(limit int, dir, prefix string) *spillSet {
+func newSpillSet(fsys faultfs.FS, limit int, dir, prefix string) *spillSet {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
 	return &spillSet{
+		fsys:   fsys,
 		limit:  limit,
 		dir:    dir,
 		prefix: prefix,
@@ -72,11 +78,11 @@ func (s *spillSet) spill() error {
 	// The spill dir is scratch space the caller merely names (e.g.
 	// parborlog -spill); create it on first use rather than demanding
 	// it exists.
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(s.dir, 0o755); err != nil {
 		return fmt.Errorf("fleetlog: creating spill dir: %w", err)
 	}
 	path := filepath.Join(s.dir, fmt.Sprintf("%s-%06d.run", s.prefix, len(s.runs)))
-	f, err := os.Create(path)
+	f, err := s.fsys.Create(path)
 	if err != nil {
 		return fmt.Errorf("fleetlog: creating spill run: %w", err)
 	}
@@ -113,7 +119,7 @@ func (s *spillSet) sortedMem() []spillKey {
 // residue.
 type runCursor struct {
 	br  *bufio.Reader // nil for the in-memory residue
-	f   *os.File
+	f   faultfs.File
 	mem []spillKey
 	pos int
 	cur spillKey
@@ -167,7 +173,7 @@ func (s *spillSet) merge(yield func(spillKey) error) error {
 		s.cleanup()
 	}()
 	for _, path := range s.runs {
-		f, err := os.Open(path)
+		f, err := s.fsys.Open(path)
 		if err != nil {
 			return fmt.Errorf("fleetlog: opening spill run: %w", err)
 		}
@@ -219,7 +225,7 @@ func (s *spillSet) merge(yield func(spillKey) error) error {
 // cleanup removes any remaining run files.
 func (s *spillSet) cleanup() {
 	for _, path := range s.runs {
-		os.Remove(path)
+		s.fsys.Remove(path)
 	}
 	s.runs = nil
 }

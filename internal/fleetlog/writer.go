@@ -10,6 +10,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"parbor/internal/faultfs"
 )
 
 const (
@@ -27,6 +30,36 @@ type WriterOptions struct {
 	// reaches this size; <= 0 selects 4 MiB. A record is never split
 	// across segments, so segments may overshoot by one record.
 	SegmentBytes int64
+	// FS is the filesystem seam the writer persists through; nil
+	// selects the real filesystem (faultfs.OS). Tests and the parbord
+	// -diskchaos-seed soak swap in a faultfs.Injector.
+	FS faultfs.FS
+	// RetryAttempts bounds how many times Append retries a transient
+	// I/O fault (short write, spurious ENOSPC) after repairing the
+	// segment back to the last record boundary; <= 0 selects 3.
+	// Persistent faults and exhausted budgets poison the writer.
+	RetryAttempts int
+	// RetryBackoff is the pause before each retry, doubling per
+	// attempt; <= 0 selects 2ms. Kept tiny: the writer holds its lock
+	// across the backoff, so a long pause would stall every appender.
+	RetryBackoff time.Duration
+}
+
+// withDefaults normalizes the option zero values.
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
+	}
+	if o.RetryAttempts <= 0 {
+		o.RetryAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	return o
 }
 
 // segHeader is the constant 5-byte segment prelude.
@@ -49,8 +82,8 @@ func segSeq(name string) int {
 
 // listSegments returns the directory's segment filenames in sequence
 // order.
-func listSegments(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +105,8 @@ type Writer struct {
 	mu   sync.Mutex
 	dir  string
 	opts WriterOptions
-	f    *os.File
+	fsys faultfs.FS
+	f    faultfs.File
 	seq  int
 	size int64
 	buf  []byte // whole-record scratch, reused across appends
@@ -84,17 +118,16 @@ type Writer struct {
 // mid-write — the damage is truncated away first, so the writer only
 // ever appends after a clean record boundary.
 func OpenWriter(dir string, opts WriterOptions) (*Writer, error) {
-	if opts.SegmentBytes <= 0 {
-		opts.SegmentBytes = 4 << 20
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts = opts.withDefaults()
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fleetlog: creating log dir: %w", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, fmt.Errorf("fleetlog: listing log dir: %w", err)
 	}
-	w := &Writer{dir: dir, opts: opts}
+	w := &Writer{dir: dir, opts: opts, fsys: fsys}
 	if len(segs) == 0 {
 		if err := w.openSegment(1); err != nil {
 			return nil, err
@@ -103,11 +136,11 @@ func OpenWriter(dir string, opts WriterOptions) (*Writer, error) {
 	}
 	last := segs[len(segs)-1]
 	w.seq = segSeq(last)
-	clean, err := cleanLength(filepath.Join(dir, last))
+	clean, err := cleanLength(fsys, filepath.Join(dir, last))
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, last), os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(filepath.Join(dir, last), os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("fleetlog: opening segment: %w", err)
 	}
@@ -136,8 +169,8 @@ func OpenWriter(dir string, opts WriterOptions) (*Writer, error) {
 // checksum-verified record. A segment that is corrupt outright (bad
 // magic, unknown version) is an error — recovery must not silently
 // destroy a file that was never a fleetlog segment.
-func cleanLength(path string) (int64, error) {
-	sr, err := openSegment(path)
+func cleanLength(fsys faultfs.FS, path string) (int64, error) {
+	sr, err := openSegment(fsys, path)
 	if err != nil {
 		return 0, err
 	}
@@ -159,21 +192,30 @@ func cleanLength(path string) (int64, error) {
 
 // openSegment creates the next segment file and makes it current.
 func (w *Writer) openSegment(seq int) error {
-	f, err := os.OpenFile(filepath.Join(w.dir, segName(seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := w.fsys.OpenFile(filepath.Join(w.dir, segName(seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("fleetlog: creating segment: %w", err)
 	}
-	if _, err := f.Write(segHeader()); err != nil {
+	w.f, w.seq, w.size = f, seq, 0
+	if err := w.writeRecord(segHeader()); err != nil {
 		f.Close()
+		w.f = nil
 		return fmt.Errorf("fleetlog: writing segment header: %w", err)
 	}
-	w.f, w.seq, w.size = f, seq, int64(segHeaderLen)
+	w.size = int64(segHeaderLen)
 	return nil
 }
 
 // Append encodes ev and appends it as one framed record, rotating to
 // a new segment when the current one is full. The record reaches the
 // OS in a single write call; Append returns once the OS has it.
+//
+// A transient I/O fault (short write, spurious ENOSPC) is absorbed by
+// a bounded retry: the segment is first repaired — truncated back to
+// the pre-record boundary so a torn prefix cannot survive — and the
+// whole record is written again. Persistent faults, failed repairs,
+// and exhausted retry budgets poison the writer; the daemon's
+// log-degraded mode takes over from there.
 func (w *Writer) Append(ev Event) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -210,14 +252,47 @@ func (w *Writer) Append(ev Event) error {
 			return err
 		}
 	}
-	if _, err := w.f.Write(rec); err != nil {
-		// A short write may have left a torn record; poison the writer
-		// so the tail is not built on. The next OpenWriter truncates it.
-		w.err = fmt.Errorf("fleetlog: appending record: %w", err)
+	if err := w.writeRecord(rec); err != nil {
+		w.err = err
 		return w.err
 	}
 	w.size += int64(len(rec))
 	return nil
+}
+
+// writeRecord lands one framed record at the current boundary,
+// retrying transient faults after repairing the tail. Called with the
+// lock held.
+func (w *Writer) writeRecord(rec []byte) error {
+	backoff := w.opts.RetryBackoff
+	var err error
+	for attempt := 0; attempt < w.opts.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var n int
+		n, err = w.f.Write(rec)
+		if err == nil {
+			return nil
+		}
+		err = fmt.Errorf("fleetlog: appending record: %w", err)
+		if !faultfs.IsTransient(err) {
+			return err
+		}
+		if n > 0 {
+			// A short write left a torn prefix; cut the segment back to
+			// the record boundary before retrying, or the retried record
+			// would land after garbage.
+			if terr := w.f.Truncate(w.size); terr != nil {
+				return fmt.Errorf("fleetlog: repairing tail after %v: %w", err, terr)
+			}
+			if _, serr := w.f.Seek(w.size, 0); serr != nil {
+				return fmt.Errorf("fleetlog: reseeking after repair: %w", serr)
+			}
+		}
+	}
+	return fmt.Errorf("fleetlog: retries exhausted: %w", err)
 }
 
 // rotate closes the current segment and opens the next one.
@@ -229,14 +304,26 @@ func (w *Writer) rotate() error {
 	return w.openSegment(w.seq + 1)
 }
 
-// Sync flushes the current segment to stable storage.
+// Sync flushes the current segment to stable storage. A Sync failure
+// poisons the writer: the kernel may have dropped any dirty page since
+// the last successful sync, so the unsynced tail is suspect and
+// appending after it would build on bytes that may not exist after a
+// crash. Callers reopen the directory (which re-verifies the tail) to
+// continue.
 func (w *Writer) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
 	if w.f == nil {
 		return nil
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("fleetlog: syncing segment: %w", err)
+		return w.err
+	}
+	return nil
 }
 
 // Close closes the current segment. Append after Close fails;

@@ -40,6 +40,14 @@ const (
 	// incarnation's report, but the coverage symptoms (degraded
 	// epochs) continue in this one.
 	CounterInheritedQuarantine = "resilience.inherited_quarantine"
+	// CounterLogDegraded counts episodes where a persistent
+	// failure of the failure-event log flipped the fleet daemon into
+	// log-degraded mode (detection continues, events are buffered);
+	// CounterLogEventsDropped counts events lost after the degraded
+	// buffer filled. A dropped event implies at least one degradation
+	// episode — Reconcile enforces it.
+	CounterLogDegraded      = "resilience.log_degraded"
+	CounterLogEventsDropped = "resilience.log_events_dropped"
 )
 
 // Report is the structured, JSON-serializable record of one
@@ -204,6 +212,12 @@ func (r *Report) Reconcile() error {
 		if n := r.Counters[CounterDegradedEpochs]; n != 0 && r.Counters[CounterInheritedQuarantine] == 0 {
 			return fmt.Errorf("obs: %d %s with zero chaos faults", n, CounterDegradedEpochs)
 		}
+	}
+	// Log-degradation cross-check: events are only ever dropped while
+	// the log is degraded, so drops without a recorded degradation
+	// episode mean the bookkeeping lost an episode.
+	if n := r.Counters[CounterLogEventsDropped]; n > 0 && r.Counters[CounterLogDegraded] == 0 {
+		return fmt.Errorf("obs: %d %s with zero %s episodes", n, CounterLogEventsDropped, CounterLogDegraded)
 	}
 	return nil
 }
