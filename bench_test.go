@@ -557,6 +557,58 @@ func BenchmarkPassHotLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkFullPassVictimDense measures the full-module sweep on a
+// victim-dense chip — VulnerableRate 0.05 puts ~400 victims in every
+// row, the regime of end-of-life parts and accelerated-stress tests.
+// The 0xaa checkerboard on vendor A (even neighbor distances) is a
+// detection-negative pattern: coupling conditions never complete, so
+// the sweep's job is to establish that cheaply — the dominant regime
+// of real testing, where most passes over most rows find nothing.
+// The scalar path still walks all ~400 victims per row bit by bit;
+// the mask planes dispose of each word in a handful of word ops.
+// This is the axis where word-wide evaluation pulls furthest ahead:
+// scalar cost grows linearly with the victim count while the sweep
+// cost is bounded per word, so the gap widens with density (see
+// BENCH_9.json for the measured curve). Compare with
+// `-tags parborscalar` for the scalar cost at this density.
+func BenchmarkFullPassVictimDense(b *testing.B) {
+	cc := parbor.DefaultCouplingConfig()
+	cc.VulnerableRate = 0.05
+	mod, err := parbor.NewModule(parbor.ModuleConfig{
+		Name:     "bench-dense",
+		Vendor:   parbor.VendorA,
+		Chips:    8,
+		Geometry: parbor.Geometry{Banks: 1, Rows: 256, Cols: 8192},
+		Coupling: cc,
+		Faults:   parbor.DefaultFaultsConfig(),
+		Seed:     42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	host, err := parbor.NewHostWithConfig(mod, parbor.HostConfig{WaitMs: 512, Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := make([]uint64, host.Geometry().Words())
+	for i := range row {
+		row[i] = 0xaaaaaaaaaaaaaaaa
+	}
+	src := func(parbor.Row) []uint64 { return row }
+	// One warm pass materializes every row's victim population and
+	// mask planes, so the loop measures the steady-state sweep.
+	if _, err := host.FullPassRows(src); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := host.FullPassRows(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFullPassParallelism contrasts the serial test host with
 // the chip-sharded host on an 8-chip module: the full-module
 // write-wait-read sweep is the hot path of every detection

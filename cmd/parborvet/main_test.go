@@ -7,44 +7,46 @@ import (
 	"parbor/internal/analyzers/atest"
 )
 
-// analyzers lists every analyzer the multichecker registers; the
-// knownbad fixture is built so each fires exactly once.
-var analyzers = []string{
-	"simdeterminism",
-	"rngstream",
-	"ctxthread",
-	"obsnilsafe",
-	"hotalloc",
-	"faultfs",
+// analyzers maps every analyzer the multichecker registers to the
+// number of diagnostics the knownbad fixture provokes from it. Each
+// distinct diagnostic fires exactly once; hotalloc carries three
+// (hot-path allocation, hot-path plane rebuild, and the contradictory
+// hotpath+planebuild annotation), asserted individually by fragment
+// in TestKnownBadFailsPlainVet.
+var analyzers = map[string]int{
+	"simdeterminism": 1,
+	"rngstream":      1,
+	"ctxthread":      1,
+	"obsnilsafe":     1,
+	"hotalloc":       3,
+	"faultfs":        1,
 }
 
 // TestKnownBadFiresEachAnalyzerOnce runs the full vet pipeline over
 // the knownbad fixture module and asserts each registered analyzer
-// produces exactly one diagnostic — proving every analyzer is wired
-// into the binary and scoped onto the fixture's packages.
+// produces exactly its expected diagnostics — proving every analyzer
+// is wired into the binary and scoped onto the fixture's packages.
 func TestKnownBadFiresEachAnalyzerOnce(t *testing.T) {
 	diags := atest.Vet(t, "testdata/knownbad")
 	counts := make(map[string]int)
+	want := 0
+	for _, n := range analyzers {
+		want += n
+	}
 	for _, d := range diags {
 		counts[d.Analyzer]++
 	}
-	for _, name := range analyzers {
-		if counts[name] != 1 {
-			t.Errorf("analyzer %s fired %d times, want exactly 1", name, counts[name])
+	for name, n := range analyzers {
+		if counts[name] != n {
+			t.Errorf("analyzer %s fired %d times, want exactly %d", name, counts[name], n)
 		}
 	}
 	for name, n := range counts {
-		known := false
-		for _, want := range analyzers {
-			if name == want {
-				known = true
-			}
-		}
-		if !known {
+		if _, known := analyzers[name]; !known {
 			t.Errorf("unregistered analyzer %s fired %d times", name, n)
 		}
 	}
-	if len(diags) != len(analyzers) {
+	if len(diags) != want {
 		for _, d := range diags {
 			t.Logf("diagnostic: %s:%d: %s: %s", d.File, d.Line, d.Analyzer, d.Message)
 		}
@@ -62,16 +64,18 @@ func TestKnownBadFailsPlainVet(t *testing.T) {
 		t.Fatalf("go vet -vettool=parborvet exited zero on the knownbad fixture\noutput:\n%s", out)
 	}
 	fragments := map[string]string{
-		"simdeterminism": "breaks seed-determinism",
-		"rngstream":      "rng.Split allocates its child stream",
-		"ctxthread":      "holds a context but calls",
-		"obsnilsafe":     "nil-receiver guard",
-		"hotalloc":       "fmt.Sprintf in //parbor:hotpath",
-		"faultfs":        "bypasses the fault plane",
+		"simdeterminism":     "breaks seed-determinism",
+		"rngstream":          "rng.Split allocates its child stream",
+		"ctxthread":          "holds a context but calls",
+		"obsnilsafe":         "nil-receiver guard",
+		"hotalloc":           "fmt.Sprintf in //parbor:hotpath",
+		"hotalloc/planecall": "calls //parbor:planebuild function",
+		"hotalloc/conflict":  "conflicting //parbor:hotpath and //parbor:planebuild",
+		"faultfs":            "bypasses the fault plane",
 	}
 	for name, fragment := range fragments {
-		if !strings.Contains(out, fragment) {
-			t.Errorf("plain vet output carries no %s diagnostic (looked for %q)\noutput:\n%s", name, fragment, out)
+		if n := strings.Count(out, fragment); n != 1 {
+			t.Errorf("plain vet output carries %d %s diagnostics (looked for %q, want exactly 1)\noutput:\n%s", n, name, fragment, out)
 		}
 	}
 }

@@ -1,5 +1,7 @@
-// Package core trips hotalloc exactly once: a formatting allocation
-// inside a //parbor:hotpath function.
+// Package core trips each hotalloc diagnostic exactly once: a
+// formatting allocation inside a //parbor:hotpath function, a hot
+// function rebuilding mask planes, and a contradictory
+// hotpath+planebuild annotation.
 package core
 
 import "fmt"
@@ -9,4 +11,30 @@ import "fmt"
 //parbor:hotpath
 func Label(row int) string {
 	return fmt.Sprintf("row-%d", row)
+}
+
+// BuildPlanes is once-per-materialization plane construction.
+//
+//parbor:planebuild
+func BuildPlanes(rows []int) []int {
+	out := make([]int, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r*2)
+	}
+	return out
+}
+
+// Sweep rebuilds the planes on every read.
+//
+//parbor:hotpath
+func Sweep(rows []int) int {
+	return BuildPlanes(rows)[0]
+}
+
+// SweepAndBuild claims to be both the hot loop and the build.
+//
+//parbor:hotpath
+//parbor:planebuild
+func SweepAndBuild(rows []int) int {
+	return rows[0]
 }

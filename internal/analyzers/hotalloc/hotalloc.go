@@ -12,6 +12,14 @@
 //   - append inside a loop to a slice declared in the function
 //     without preallocated capacity.
 //
+// It also polices the mask-plane construction boundary introduced
+// with the word-wide read path: //parbor:planebuild marks
+// once-per-materialization plane construction, and a //parbor:hotpath
+// function calling one (re-building planes per read) is a diagnostic
+// unless the caller is the //parbor:planecache seam, which caches the
+// result so the build amortizes to once per row. A function annotated
+// both hotpath and planebuild is contradictory and flagged outright.
+//
 // The benchmark gate still catches what escapes analysis; the
 // analyzer catches it at review time and names the construct.
 package hotalloc
@@ -47,14 +55,52 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	// First pass: resolve every //parbor:planebuild function of the
+	// package, so hot-path call sites can be checked against the set.
+	builders := make(map[types.Object]bool)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if parbordir.FuncHas(decl, parbordir.Planebuild) {
+			builders[pass.TypesInfo.ObjectOf(decl.Name)] = true
+		}
+	})
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
 		decl := n.(*ast.FuncDecl)
 		if decl.Body == nil || scope.InTestFile(pass, decl.Pos()) || !parbordir.FuncHas(decl, parbordir.Hotpath) {
 			return
 		}
+		if parbordir.FuncHas(decl, parbordir.Planebuild) {
+			pass.Reportf(decl.Pos(), "conflicting //parbor:hotpath and //parbor:planebuild on %s: plane construction runs once per materialization and cannot also be the per-read hot loop", decl.Name.Name)
+			return // the directives contradict; further checks would guess which one governs
+		}
 		checkHotFunc(pass, decl)
+		if !parbordir.FuncHas(decl, parbordir.Planecache) {
+			checkBuilderCalls(pass, decl, builders)
+		}
 	})
 	return nil, nil
+}
+
+// checkBuilderCalls flags static calls from a hot function to
+// //parbor:planebuild functions of the same package: rebuilding mask
+// planes per read forfeits the once-per-materialization amortization
+// the read path's speed rests on.
+func checkBuilderCalls(pass *analysis.Pass, decl *ast.FuncDecl, builders map[types.Object]bool) {
+	if len(builders) == 0 {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := typeutil.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || !builders[types.Object(fn)] {
+			return true
+		}
+		pass.Reportf(call.Pos(), "//parbor:hotpath function %s calls //parbor:planebuild function %s: planes are built once at row materialization; only a //parbor:planecache seam may reach plane construction from the read path", decl.Name.Name, fn.Name())
+		return true
+	})
 }
 
 func checkHotFunc(pass *analysis.Pass, decl *ast.FuncDecl) {

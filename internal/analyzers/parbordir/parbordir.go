@@ -26,6 +26,21 @@
 //	    the write cannot corrupt durable state (scratch files, spill
 //	    runs that are re-derived on loss, ...).
 //
+//	//parbor:planebuild
+//	    On a function's doc comment. Declares the function part of
+//	    mask-plane construction: allocation-heavy work that runs once
+//	    per row at materialization, never per read. hotalloc forbids
+//	    //parbor:hotpath functions from calling it — a hot-path call
+//	    would rebuild planes on every read — and rejects a function
+//	    annotated both hotpath and planebuild outright.
+//
+//	//parbor:planecache
+//	    On a function's doc comment. Marks the designated lazy
+//	    materialization seam: the one place a read-path function may
+//	    reach plane construction, because it caches the result and the
+//	    build amortizes to once per row. hotalloc exempts it from the
+//	    planebuild call check.
+//
 // Directive comments deliberately use the Go directive shape (no
 // space after //) so gofmt keeps them glued to their declarations.
 package parbordir
@@ -44,6 +59,14 @@ const (
 	// Rawfs is the //parbor:rawfs directive name: it opts a site in a
 	// storage package out of the faultfs seam requirement.
 	Rawfs = "parbor:rawfs"
+	// Planebuild is the //parbor:planebuild directive name: it marks
+	// once-per-materialization plane construction, off-limits to
+	// //parbor:hotpath callers.
+	Planebuild = "parbor:planebuild"
+	// Planecache is the //parbor:planecache directive name: it marks
+	// the caching seam through which read paths may reach plane
+	// construction.
+	Planecache = "parbor:planecache"
 )
 
 // needsJustification lists the directives whose bare form (no

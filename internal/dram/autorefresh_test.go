@@ -68,11 +68,11 @@ func TestAutoRefreshLazyBookkeeping(t *testing.T) {
 	writeOnes(c, 0, 0)
 	writeOnes(c, 0, 1)
 
-	paused := map[int]struct{}{c.FlatRowIndex(0, 0): {}}
+	paused := []int{c.FlatRowIndex(0, 0)}
 	c.Wait(200)
 	c.AutoRefresh(paused)
 	c.Wait(200)
-	c.AutoRefresh(map[int]struct{}{c.FlatRowIndex(0, 0): {}})
+	c.AutoRefresh([]int{c.FlatRowIndex(0, 0)})
 
 	// Row 0 has now sat unrefreshed for 400 ms > the 300 ms weak-cell
 	// threshold; row 1 was refreshed 0 ms ago.
@@ -91,7 +91,7 @@ func TestAutoRefreshResumesPausedRow(t *testing.T) {
 	writeOnes(c, 0, 0)
 
 	c.Wait(200)
-	c.AutoRefresh(map[int]struct{}{c.FlatRowIndex(0, 0): {}})
+	c.AutoRefresh([]int{c.FlatRowIndex(0, 0)})
 	c.Wait(200)
 	c.AutoRefresh(nil) // refresh everything, including row 0
 	c.Wait(100)
@@ -101,7 +101,7 @@ func TestAutoRefreshResumesPausedRow(t *testing.T) {
 		t.Errorf("resumed row shows %d failures, want 0", n)
 	}
 	// But pause it again and let it decay past the threshold.
-	c.AutoRefresh(map[int]struct{}{c.FlatRowIndex(0, 0): {}})
+	c.AutoRefresh([]int{c.FlatRowIndex(0, 0)})
 	c.Wait(300)
 	if n := failCount(c, 0, 0); n == 0 {
 		t.Error("re-paused row accumulated no failures after 300 ms")
@@ -132,10 +132,11 @@ func TestAutoRefreshMatchesEagerSemantics(t *testing.T) {
 	for _, step := range schedule {
 		c.Wait(step.waitMs)
 		now += step.waitMs
-		except := make(map[int]struct{})
+		except := make([]int, 0, len(step.except))
 		skip := make(map[int]bool)
 		for _, r := range step.except {
-			except[c.FlatRowIndex(0, r)] = struct{}{}
+			// Duplicate entries on purpose: AutoRefresh accepts them.
+			except = append(except, c.FlatRowIndex(0, r), c.FlatRowIndex(0, r))
 			skip[r] = true
 		}
 		c.AutoRefresh(except)

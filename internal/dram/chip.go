@@ -75,10 +75,33 @@ type Chip struct {
 	// chip records the time of the latest refresh and the set of rows
 	// that refresh skipped. ReadRow consults them to reconstruct the
 	// row's effective last-charge time (see chargeTime).
+	//
+	// The paused set is a packed bitset plus the list of set rows:
+	// chargeTime (one call per row read) does a word-indexed bit test,
+	// and AutoRefresh clears the previous epoch through the list, so
+	// installing an epoch stays O(rows excluded), never O(rows in
+	// chip). An earlier map[int]struct{} representation put a map
+	// lookup (hash + probe) on every row read.
 	lastRefreshMs float64
-	paused        map[int]struct{} // rows excluded from the latest refresh
+	pausedBits    []uint64 // rows excluded from the latest refresh
+	pausedList    []int    // the set bits of pausedBits
 
-	meta  []*rowMeta         // lazy per flat row
+	meta []*rowMeta // lazy per flat row
+	// planes is the bit-parallel evaluation state per flat row —
+	// word-wide masks by class/retention-tier/neighbor distance (see
+	// planes.go), derived from the row's victims and fault cells at
+	// materialization time and immutable afterwards. It lives in a flat
+	// value slice, not inside rowMeta: the read path consults it for
+	// every row of a sweep, and rows are read in ascending order, so a
+	// contiguous array turns the per-row metadata access into a
+	// prefetchable sequential stream instead of a pointer chase through
+	// scattered rowMeta allocations. Entries of unmaterialized rows are
+	// zero; the read path only consults rows rowMetaFor has populated.
+	planes []rowPlanes
+	// arena backs the slices inside planes: rows materialize in sweep
+	// order, so block allocation lays consecutive rows' entries out
+	// contiguously for the prefetcher (see planeArena).
+	arena planeArena
 	remap map[int32]struct{} // remapped system columns (chip-wide)
 
 	// Cached label-children of root. The hot paths (one draw per row
@@ -130,6 +153,15 @@ type rowMeta struct {
 	fcells  []faults.Cell
 }
 
+// Fault-kind retention thresholds (milliseconds): leaky VRT cells fail
+// past one nominal refresh interval, marginal cells only on long
+// waits, weak cells deterministically on long waits.
+const (
+	vrtRetentionMs      = 64
+	marginalRetentionMs = 200
+	weakRetentionMs     = 300
+)
+
 // NewChip builds a chip. The chip's process variation (victim
 // placement, classes, retention thresholds, random-fault cells,
 // remapped columns) is fully determined by cfg.Seed and cfg.Index.
@@ -170,7 +202,10 @@ func NewChip(cfg ChipConfig) (*Chip, error) {
 		data:    make([]uint64, cfg.Geometry.RowCount()*cfg.Geometry.Words()),
 		writeAt: make([]float64, cfg.Geometry.RowCount()),
 		meta:    make([]*rowMeta, cfg.Geometry.RowCount()),
+		planes:  make([]rowPlanes, cfg.Geometry.RowCount()),
 		rec:     cfg.Recorder,
+
+		pausedBits: make([]uint64, (cfg.Geometry.RowCount()+63)/64),
 	}
 	c.remap = cfg.Faults.RemappedColumns(root.Split("remap"), cfg.Geometry.Cols)
 	c.vrtSrc = root.Child("vrt-toggle")
@@ -231,8 +266,14 @@ func (c *Chip) Wait(ms float64) {
 	c.pass++
 }
 
-// rowMetaFor lazily materializes the per-row cell population and
-// resolves each victim's physical neighborhood through the mapping.
+// rowMetaFor lazily materializes the per-row cell population, resolves
+// each victim's physical neighborhood through the mapping, and derives
+// the row's bit-parallel mask planes. It is the memoization gateway
+// between the allocating one-time construction (buildRowPlanes) and
+// the zero-allocation read path: ReadRow may call it per read, but the
+// construction below runs once per row for the life of the chip.
+//
+//parbor:planecache
 func (c *Chip) rowMetaFor(flat int) *rowMeta {
 	if m := c.meta[flat]; m != nil {
 		return m
@@ -266,6 +307,7 @@ func (c *Chip) rowMetaFor(flat int) *rowMeta {
 		}
 		m.victims = append(m.victims, vc)
 	}
+	c.planes[flat] = c.buildRowPlanes(m)
 	c.meta[flat] = m
 	return m
 }
@@ -316,18 +358,63 @@ func (c *Chip) ReadRow(bank, row int, dst []uint64) {
 	idx := c.geom.rowIndex(bank, row)
 	stored := c.data[idx*c.words : (idx+1)*c.words]
 	copy(dst, stored)
+	c.readRowFaults(row, idx, stored, dst)
+}
+
+// ReadRowDelta performs the same read as ReadRow — same failure
+// evaluation, same keyed draws, same observability commands — but
+// instead of materializing the read-back data it toggles only the
+// failing bits into delta and returns the toggle count. delta must
+// arrive all-zero; a zero return guarantees it was left untouched, so
+// a caller that clears the words it consumes keeps a standing
+// zero-delta scratch and pays nothing at all for clean rows. The
+// read-back contents are stored XOR delta; a diff of the read against
+// the last-written data is exactly the nonzero bits of delta, which
+// is what makes this the fast path of the host's write-then-read
+// sweeps (memctl reads every row it just wrote, so the copy and the
+// word-by-word compare of the classic path cancel out).
+//
+//parbor:hotpath
+func (c *Chip) ReadRowDelta(bank, row int, delta []uint64) int {
+	idx := c.geom.rowIndex(bank, row)
+	stored := c.data[idx*c.words : (idx+1)*c.words]
+	return c.readRowFaults(row, idx, stored, delta)
+}
+
+// readRowFaults is the shared read core: it records the access,
+// evaluates every failure mode of the row against stored, toggles the
+// failing bits into dst, and returns the toggle count. dst may be a
+// copy of stored (ReadRow) or a zeroed delta buffer (ReadRowDelta) —
+// every predicate reads charge state from stored only, so the two
+// produce the same toggle set.
+func (c *Chip) readRowFaults(row, idx int, stored, dst []uint64) int {
 	if c.rec != nil {
 		c.rec.Command(obs.CmdActivate, 1)
 		c.rec.Command(obs.CmdRead, 1)
 	}
-
 	elapsed := c.nowMs - c.chargeTime(idx)
 	if elapsed <= 0 {
-		return
+		return 0
 	}
-	anti := c.antiRow(row)
 	m := c.rowMetaFor(idx)
+	if scalarReadPath {
+		// Build-tagged differential oracle (go build -tags parborscalar):
+		// the original per-cell evaluation, kept always-compiled so the
+		// proof suite can hold the two paths to bit-identity.
+		return c.readRowScalar(row, idx, elapsed, stored, dst, m)
+	}
+	return c.readRowPlanes(row, idx, elapsed, stored, dst, m)
+}
 
+// readRowScalar is the scalar reference evaluation: one victim, one
+// fault cell at a time, probing individual bits. The mask-plane path
+// (readRowPlanes) must flip exactly the bits this flips — it is the
+// oracle of the differential suite in planes_test.go and the whole
+// simulation under the parborscalar build tag. Returns the toggle
+// count, mirroring readRowPlanes.
+func (c *Chip) readRowScalar(row, flat int, elapsed float64, stored, dst []uint64, m *rowMeta) int {
+	anti := c.antiRow(row)
+	n := 0
 	// Iterate by index: vcell is ~48 bytes and this loop runs for
 	// every victim of every row read, so a by-value range would spend
 	// a large share of the read path copying structs.
@@ -336,11 +423,12 @@ func (c *Chip) ReadRow(bank, row int, dst []uint64) {
 		if elapsed < float64(v.retentionMs) {
 			continue
 		}
-		if c.victimFails(stored, anti, idx, v) {
+		if c.victimFails(stored, anti, flat, v) {
 			flipBit(dst, int(v.col))
+			n++
 		}
 	}
-	c.applyRandomFaults(idx, row, elapsed, stored, dst, m)
+	return n + c.applyRandomFaults(flat, row, elapsed, stored, dst, m)
 }
 
 // charged reports whether the cell at col holds charge, accounting
@@ -399,13 +487,9 @@ func (c *Chip) victimFails(stored []uint64, anti bool, flat int, v *vcell) bool 
 // the same faults, and no draw depends on what else was read first.
 //
 //parbor:hotpath
-func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []uint64, m *rowMeta) {
+func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []uint64, m *rowMeta) int {
 	anti := c.antiRow(row)
-	const (
-		vrtRetentionMs      = 64  // leaky VRT cells fail past one nominal interval
-		marginalRetentionMs = 200 // marginal cells only fail on long waits
-		weakRetentionMs     = 300 // weak cells fail deterministically on long waits
-	)
+	n := 0
 	vrtPass := c.vrtSrc.At(c.pass).At(uint64(flat))
 	marginalPass := c.marginalSrc.At(c.pass).At(uint64(flat))
 	for _, fcell := range m.fcells {
@@ -419,6 +503,7 @@ func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []u
 				src := vrtPass.At(uint64(fcell.Col))
 				if src.Bool(c.fc.VRTToggleProb) {
 					flipBit(dst, col)
+					n++
 				}
 			}
 		case faults.KindMarginal:
@@ -426,11 +511,13 @@ func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []u
 				src := marginalPass.At(uint64(fcell.Col))
 				if src.Bool(c.fc.MarginalFailProb) {
 					flipBit(dst, col)
+					n++
 				}
 			}
 		case faults.KindWeak:
 			if elapsed >= weakRetentionMs && charged(stored, col, anti) {
 				flipBit(dst, col)
+				n++
 			}
 		}
 	}
@@ -438,8 +525,10 @@ func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []u
 		src := c.softSrc.At(c.pass).At(uint64(flat))
 		if src.Bool(c.fc.SoftErrorPerRowRead) {
 			flipBit(dst, src.Intn(c.geom.Cols))
+			n++
 		}
 	}
+	return n
 }
 
 // chargeTime returns the sim time (ms) the row's cells were last
@@ -449,10 +538,8 @@ func (c *Chip) applyRandomFaults(flat, row int, elapsed float64, stored, dst []u
 //parbor:hotpath
 func (c *Chip) chargeTime(idx int) float64 {
 	t := c.writeAt[idx]
-	if c.lastRefreshMs > t {
-		if _, skipped := c.paused[idx]; !skipped {
-			t = c.lastRefreshMs
-		}
+	if c.lastRefreshMs > t && c.pausedBits[idx>>6]&(1<<(uint(idx)&63)) == 0 {
+		t = c.lastRefreshMs
 	}
 	return t
 }
@@ -465,19 +552,33 @@ func (c *Chip) chargeTime(idx int) float64 {
 //
 // The implementation is lazy — O(rows excluded) rather than O(rows in
 // chip): the refresh is recorded as a chip-level timestamp plus the
-// paused set, and ReadRow reconstructs each row's effective charge
+// paused bitset, and ReadRow reconstructs each row's effective charge
 // time on demand (chargeTime). Before the new epoch is installed, the
 // rows it pauses have their charge time from the previous epoch
 // materialized into writeAt, so retention keeps accumulating across
-// consecutive passes that test the same rows. The caller must not
-// mutate except after the call.
-func (c *Chip) AutoRefresh(except map[int]struct{}) {
-	for idx := range except {
+// consecutive passes that test the same rows.
+//
+// except may hold duplicates and need not be sorted; the chip copies
+// what it needs, so the caller is free to reuse the slice immediately.
+func (c *Chip) AutoRefresh(except []int) {
+	for _, idx := range except {
 		if t := c.chargeTime(idx); t > c.writeAt[idx] {
 			c.writeAt[idx] = t
 		}
 	}
-	c.paused = except
+	// Swap epochs: clear the previous epoch's bits through its list
+	// (O(rows previously excluded)), then set the new ones.
+	for _, idx := range c.pausedList {
+		c.pausedBits[idx>>6] &^= 1 << (uint(idx) & 63)
+	}
+	c.pausedList = c.pausedList[:0]
+	for _, idx := range except {
+		w, bit := idx>>6, uint64(1)<<(uint(idx)&63)
+		if c.pausedBits[w]&bit == 0 {
+			c.pausedBits[w] |= bit
+			c.pausedList = append(c.pausedList, idx)
+		}
+	}
 	c.lastRefreshMs = c.nowMs
 	if c.rec != nil {
 		c.rec.Command(obs.CmdRefresh, 1)
@@ -510,7 +611,10 @@ func (c *Chip) SetClock(nowMs float64, pass uint64) {
 	c.nowMs = nowMs
 	c.pass = pass
 	c.lastRefreshMs = nowMs
-	c.paused = nil
+	for _, idx := range c.pausedList {
+		c.pausedBits[idx>>6] &^= 1 << (uint(idx) & 63)
+	}
+	c.pausedList = c.pausedList[:0]
 }
 
 // FlatRowIndex converts a (bank, row) pair to the flat index used by

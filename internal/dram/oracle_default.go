@@ -1,0 +1,12 @@
+//go:build !parborscalar
+
+package dram
+
+// scalarReadPath selects the ReadRow evaluation path at compile time.
+// The default build takes the bit-parallel mask-plane path; building
+// with -tags parborscalar compiles the whole simulation onto the
+// scalar per-cell oracle instead, so every system-level suite (golden
+// Table 1, checkpoint/resume, fleet soak) can be replayed against the
+// reference semantics. A constant, not a variable: the dead branch is
+// eliminated, so neither build pays a dispatch cost.
+const scalarReadPath = false

@@ -1,0 +1,9 @@
+//go:build parborscalar
+
+package dram
+
+// scalarReadPath: see oracle_default.go. Under the parborscalar build
+// tag ReadRow runs the scalar per-cell reference evaluation; the CI
+// test job replays the golden suites under this tag to prove the
+// mask-plane path changed nothing observable.
+const scalarReadPath = true

@@ -70,11 +70,13 @@ type BitAddr struct {
 
 // RowSource supplies the pattern data of one row of a full-module
 // pass. The host aliases the returned slice — it is read during the
-// write sweep and again during the compare sweep, never mutated and
-// never retained past the pass — so a source may hand the same
-// immutable backing array to every row (see patterns.Arena). The
-// slice must hold Geometry().Words() words and must stay unchanged
-// for the duration of the pass. Like the gen callback of FullPass, a
+// write sweep, never mutated and never retained past the pass — so a
+// source may hand the same immutable backing array to every row (see
+// patterns.Arena). The read sweep diffs each row against the chip's
+// stored copy of that same data (dram.Chip.ReadRowDelta), so the
+// source is consulted once per row per pass. The slice must hold
+// Geometry().Words() words and must stay unchanged for the duration
+// of the pass. Like the gen callback of FullPass, a
 // RowSource may be invoked concurrently from per-chip workers
 // (always with distinct rows), so it must not mutate shared state.
 type RowSource func(r Row) []uint64
@@ -142,6 +144,11 @@ type Host struct {
 	// buffers race-free without locking.
 	chipScratch [][]uint64 // read-back buffer per chip
 	chipPattern [][]uint64 // generated-pattern buffer per chip
+	// chipDelta is the per-chip XOR-delta scratch for the full-pass
+	// read sweep (dram.Chip.ReadRowDelta). Invariant: all-zero between
+	// reads — appendDeltaFails re-zeroes every word it consumes, and a
+	// zero toggle count from the chip means the buffer was not touched.
+	chipDelta [][]uint64
 
 	// Reusable per-pass scratch (see the Host comment).
 	byChip   [][]int      // row-list indices bucketed per chip, caller order
@@ -150,13 +157,13 @@ type Host struct {
 	perIndex [][]BitAddr  // readAndDiff: failures per row-list index
 	perChip  [][]BitAddr  // full pass: failures per chip
 
-	// Double-buffered per-chip paused sets for autoRefreshExcept:
-	// dram.Chip retains the set it was handed until the next refresh
-	// epoch, so the host alternates between two generations — while
-	// the chips hold generation g, generation 1-g is dead and can be
-	// cleared and rebuilt without reallocating the maps.
-	paused     [2][]map[int]struct{}
-	pausedFlip int
+	// Per-chip paused-row lists for autoRefreshExcept, reused across
+	// passes via [:0]. dram.Chip.AutoRefresh copies what it retains
+	// (the packed paused bitset lives chip-side), so one generation of
+	// host scratch suffices — the double-buffered map sets the earlier
+	// map-based AutoRefresh contract required are gone, and with them
+	// the per-row map inserts and hash probes on the pass hot path.
+	pausedRows [][]int
 
 	// sweep is the state of the sweep in flight, read by the
 	// pre-bound shard methods below. Binding the shard bodies once at
@@ -226,18 +233,19 @@ func NewHostWithConfig(mod *dram.Module, cfg HostConfig) (*Host, error) {
 		lastMask:    mod.Geometry().LastWordMask(),
 		chipScratch: make([][]uint64, chips),
 		chipPattern: make([][]uint64, chips),
+		chipDelta:   make([][]uint64, chips),
 		byChip:      make([][]int, chips),
 		perChip:     make([][]BitAddr, chips),
 	}
 	for i := 0; i < chips; i++ {
 		h.chipScratch[i] = make([]uint64, words)
 		h.chipPattern[i] = make([]uint64, words)
+		h.chipDelta[i] = make([]uint64, words)
 	}
 	if cfg.Faults != nil {
 		h.slots = make([]*ChipFault, chips)
 	}
-	h.paused[0] = make([]map[int]struct{}, chips)
-	h.paused[1] = make([]map[int]struct{}, chips)
+	h.pausedRows = make([][]int, chips)
 	h.writeRowsFn = h.writeRowsShard
 	h.readRowsFn = h.readRowsShard
 	h.writeFullFn = h.writeFullShard
@@ -551,29 +559,19 @@ func (h *Host) writeRowsShard(chip int) error {
 // every row not paused for the current test: those rows never
 // accumulate retention time across passes. The rows under test are
 // excluded — their decay is the point of the wait. The per-chip
-// paused sets are double-buffered host scratch (see Host.paused), so
-// the steady-state path clears and refills maps instead of
-// allocating them.
+// excluded-row lists are host scratch (see Host.pausedRows), safe to
+// rebuild in place because AutoRefresh does not retain its argument.
 func (h *Host) autoRefreshExcept(rows []Row) {
-	// Build into the generation the chips are NOT currently holding.
-	next := h.paused[1-h.pausedFlip]
-	for _, m := range next {
-		if m != nil {
-			clear(m)
-		}
+	for chip := range h.pausedRows {
+		h.pausedRows[chip] = h.pausedRows[chip][:0]
 	}
 	for _, r := range rows {
-		m := next[r.Chip]
-		if m == nil {
-			m = make(map[int]struct{})
-			next[r.Chip] = m
-		}
-		m[h.mod.Chip(r.Chip).FlatRowIndex(r.Bank, r.Row)] = struct{}{}
+		h.pausedRows[r.Chip] = append(h.pausedRows[r.Chip],
+			h.mod.Chip(r.Chip).FlatRowIndex(r.Bank, r.Row))
 	}
 	for chip := 0; chip < h.mod.Chips(); chip++ {
-		h.mod.Chip(chip).AutoRefresh(next[chip])
+		h.mod.Chip(chip).AutoRefresh(h.pausedRows[chip])
 	}
-	h.pausedFlip = 1 - h.pausedFlip
 }
 
 // readAndDiff reads every listed row back and diffs it against
@@ -893,12 +891,20 @@ func (h *Host) writeFullShard(chip int) error {
 // from the previous pass; fullPassRows copies it into the merged
 // result before returning.
 //
+// The full pass wrote every row from the same source immediately
+// before this sweep, so the expected data IS the stored data — the
+// diff of the read-back against it is exactly the chip's failure
+// delta. ReadRowDelta hands that delta over directly (same draws,
+// same observability commands as ReadRow), skipping the row copy and
+// the word-by-word compare; clean rows, the steady state of a healthy
+// module, cost nothing beyond the failure evaluation itself.
+//
 //parbor:hotpath
 func (h *Host) readFullShard(chip int) error {
 	c := h.mod.Chip(chip)
 	g := h.mod.Geometry()
 	s := &h.sweep
-	scratch := h.chipScratch[chip]
+	delta := h.chipDelta[chip]
 	fails := h.perChip[chip][:0]
 	n := 0
 	for bank := 0; bank < g.Banks; bank++ {
@@ -916,13 +922,42 @@ func (h *Host) readFullShard(chip int) error {
 					return nil
 				}
 			}
-			want := s.src(r)
-			c.ReadRow(bank, row, scratch)
-			fails = appendMismatches(fails, r, want, scratch, h.lastMask)
+			if c.ReadRowDelta(bank, row, delta) != 0 {
+				fails = appendDeltaFails(fails, r, delta)
+			}
 		}
 	}
 	h.perChip[chip] = fails
 	return nil
+}
+
+// appendDeltaFails appends one BitAddr per set bit of delta, in
+// ascending column order — the same order appendMismatches produces —
+// and re-zeroes the words it consumes, restoring the all-zero scratch
+// invariant. Toggles cannot touch the padding bits of the last word
+// (every failure mode addresses a column below Cols), so no mask is
+// needed.
+//
+//parbor:hotpath
+func appendDeltaFails(fails []BitAddr, r Row, delta []uint64) []BitAddr {
+	for w := range delta {
+		diff := delta[w]
+		if diff == 0 {
+			continue
+		}
+		delta[w] = 0
+		for diff != 0 {
+			bit := bits.TrailingZeros64(diff)
+			fails = append(fails, BitAddr{
+				Chip: int16(r.Chip),
+				Bank: int16(r.Bank),
+				Row:  int32(r.Row),
+				Col:  int32(w*64 + bit),
+			})
+			diff &= diff - 1
+		}
+	}
+	return fails
 }
 
 // appendMismatches diffs the read-back buffer got against want and
@@ -933,9 +968,35 @@ func (h *Host) readFullShard(chip int) error {
 //
 //parbor:hotpath
 func appendMismatches(fails []BitAddr, r Row, want, got []uint64, lastMask uint64) []BitAddr {
-	for w, g := range got {
-		diff := g ^ want[w]
-		if w == len(got)-1 {
+	n := len(got)
+	if n == 0 {
+		return fails
+	}
+	want = want[:n] // one bounds check here instead of one per word
+	// Quick scan: OR-accumulate the XOR of the full words four at a
+	// time, straight-line ALU with no per-word branching. The steady
+	// state of a healthy row is "no bits differ", so the extraction
+	// pass below — with its per-word last-word test and per-bit
+	// appends — runs only for the rare rows that actually flipped.
+	last := n - 1
+	var acc uint64
+	w := 0
+	for ; w+4 <= last; w += 4 {
+		acc |= (got[w] ^ want[w]) | (got[w+1] ^ want[w+1]) |
+			(got[w+2] ^ want[w+2]) | (got[w+3] ^ want[w+3])
+	}
+	for ; w < last; w++ {
+		acc |= got[w] ^ want[w]
+	}
+	acc |= (got[last] ^ want[last]) & lastMask
+	if acc == 0 {
+		return fails
+	}
+	for w := 0; w < n; w++ {
+		diff := got[w] ^ want[w]
+		if w == last {
+			// Padding bits of the final word carry whatever the writer
+			// left there and must never surface as failures.
 			diff &= lastMask
 		}
 		for diff != 0 {
