@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint
+.PHONY: build test vet atest lint
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,19 @@ test:
 	$(GO) test ./...
 
 # vet builds the repository's analysis suite (cmd/parborvet) and runs
-# it over the whole tree through the go vet vettool protocol. DESIGN.md
-# section 10 documents the analyzers and the //parbor:hotpath /
-# //parbor:wallclock annotation contract.
+# it over the whole tree — internal/..., cmd/..., and examples/... —
+# through the go vet vettool protocol. DESIGN.md sections 10 and 15
+# document the analyzers and the //parbor: annotation contract
+# (hotpath, wallclock, rawfs, guardedby, unsync, droperr).
 vet:
 	$(GO) build -o parborvet ./cmd/parborvet
 	$(GO) vet -vettool=$(CURDIR)/parborvet ./...
+
+# atest runs the analyzers' own fixture harness (each pass against
+# its testdata module, plus the knownbad fires-exactly-once
+# accounting) under the race detector, matching CI's lint job.
+atest:
+	$(GO) test -race -count=1 ./internal/analyzers/... ./cmd/parborvet
 
 # lint adds the pinned external checkers on top of vet. These download
 # on first use, so unlike vet they need network access.

@@ -102,7 +102,7 @@ type options struct {
 	chaosProb float64
 }
 
-func run(ctx context.Context, opts options) error {
+func run(ctx context.Context, opts options) (err error) {
 	if opts.resume && opts.stateDir == "" {
 		return errors.New("-resume needs -state")
 	}
@@ -133,7 +133,14 @@ func run(ctx context.Context, opts options) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
+	// Close flushes the event log's final backlog; a failure there is
+	// lost data and must surface as the run's error rather than be
+	// dropped with the defer.
+	defer func() {
+		if cerr := d.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing daemon: %w", cerr)
+		}
+	}()
 
 	if opts.resume {
 		n, err := d.LoadState()

@@ -138,6 +138,7 @@ func runDump(opts options, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	//parbor:droperr read-side iterator close; dump output is already complete or errored
 	defer it.Close()
 	enc := json.NewEncoder(stdout)
 	for {

@@ -1,10 +1,13 @@
-// Command parborvet is the repository's analysis suite: six
+// Command parborvet is the repository's analysis suite: nine
 // golang.org/x/tools/go/analysis passes that mechanically enforce the
 // invariants every published figure rests on — seed-determinism of
 // the simulation packages, per-shard rng stream derivation, context
 // threading through row/chip loops, nil-safe observability, the
-// zero-allocation pass hot loop, and storage packages routing durable
-// I/O through the parbor/internal/faultfs seam.
+// zero-allocation pass hot loop, storage packages routing durable
+// I/O through the parbor/internal/faultfs seam, and the three
+// flow-sensitive passes: //parbor:guardedby mutex discipline
+// (lockguard), atomic/plain access mixing (atomicmix), and durable
+// error flow (syncdrop).
 //
 // It speaks the go vet unitchecker protocol, so it is run through the
 // build system rather than standalone:
@@ -14,20 +17,22 @@
 //
 // or simply `make vet`. Individual analyzers can be selected the
 // usual way: `go vet -vettool=$PWD/parborvet -simdeterminism ./...`.
-// DESIGN.md section 10 documents each analyzer and the
-// //parbor:hotpath / //parbor:wallclock / //parbor:rawfs annotation
-// contract.
+// DESIGN.md sections 10 and 15 document each analyzer and the
+// //parbor:* annotation contract.
 package main
 
 import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"parbor/internal/analyzers/atomicmix"
 	"parbor/internal/analyzers/ctxthread"
 	"parbor/internal/analyzers/faultfs"
 	"parbor/internal/analyzers/hotalloc"
+	"parbor/internal/analyzers/lockguard"
 	"parbor/internal/analyzers/obsnilsafe"
 	"parbor/internal/analyzers/rngstream"
 	"parbor/internal/analyzers/simdeterminism"
+	"parbor/internal/analyzers/syncdrop"
 )
 
 func main() {
@@ -38,5 +43,8 @@ func main() {
 		obsnilsafe.Analyzer,
 		hotalloc.Analyzer,
 		faultfs.Analyzer,
+		lockguard.Analyzer,
+		atomicmix.Analyzer,
+		syncdrop.Analyzer,
 	)
 }

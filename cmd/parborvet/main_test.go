@@ -20,6 +20,9 @@ var analyzers = map[string]int{
 	"obsnilsafe":     1,
 	"hotalloc":       3,
 	"faultfs":        1,
+	"lockguard":      1,
+	"atomicmix":      1,
+	"syncdrop":       1,
 }
 
 // TestKnownBadFiresEachAnalyzerOnce runs the full vet pipeline over
@@ -72,6 +75,9 @@ func TestKnownBadFailsPlainVet(t *testing.T) {
 		"hotalloc/planecall": "calls //parbor:planebuild function",
 		"hotalloc/conflict":  "conflicting //parbor:hotpath and //parbor:planebuild",
 		"faultfs":            "bypasses the fault plane",
+		"lockguard":          "accessed without holding",
+		"atomicmix":          "plain access races",
+		"syncdrop":           "discarded on a durable path",
 	}
 	for name, fragment := range fragments {
 		if n := strings.Count(out, fragment); n != 1 {

@@ -1,0 +1,23 @@
+// Package fleet trips lockguard exactly once: a //parbor:guardedby
+// field read without its mutex held.
+package fleet
+
+import "sync"
+
+// Registry mirrors the real fleet registry's guarded shape.
+type Registry struct {
+	mu   sync.Mutex
+	rows int //parbor:guardedby mu
+}
+
+// Rows reads the guarded field without taking the lock.
+func (r *Registry) Rows() int {
+	return r.rows
+}
+
+// Add holds the lock correctly, so only Rows trips the pass.
+func (r *Registry) Add(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rows += n
+}

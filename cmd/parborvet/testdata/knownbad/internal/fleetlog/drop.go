@@ -1,0 +1,14 @@
+// This file trips syncdrop exactly once: a discarded Sync error on a
+// durable path.
+package fleetlog
+
+// segment stands in for an open log segment.
+type segment struct{}
+
+// Sync flushes to stable storage.
+func (s *segment) Sync() error { return nil }
+
+// Checkpoint drops the only evidence the data reached disk.
+func Checkpoint(s *segment) {
+	s.Sync()
+}

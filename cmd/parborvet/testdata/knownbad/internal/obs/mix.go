@@ -1,0 +1,15 @@
+// This file trips atomicmix exactly once: hits is atomic in Inc but
+// read plainly in Torn. Tally deliberately does not implement
+// Recorder, so obsnilsafe stays out of the accounting.
+package obs
+
+import "sync/atomic"
+
+// Tally counts events in the address-based atomic style.
+type Tally struct{ hits uint64 }
+
+// Inc records one event.
+func (t *Tally) Inc() { atomic.AddUint64(&t.hits, 1) }
+
+// Torn reads the counter plainly.
+func (t *Tally) Torn() uint64 { return t.hits }

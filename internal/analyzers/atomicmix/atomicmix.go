@@ -1,0 +1,148 @@
+// Package atomicmix defines an analyzer catching mixed atomic/plain
+// access: any variable a package touches through sync/atomic anywhere
+// must be touched through sync/atomic everywhere. A plain load next
+// to an atomic.AddUint64 is a torn read on 32-bit targets and a data
+// race on all of them — exactly the kind of bug that turns an obs
+// counter golden flaky at GOMAXPROCS 8 and nowhere else.
+//
+// The rule is package-wide rather than flow-sensitive: mixing is
+// wrong on every interleaving, so there is no path condition to
+// track. Two exemptions mirror lockguard's: accesses through a fresh
+// (constructor-local) base are safe because the value is not yet
+// shared, and _test.go files are free to read counters while nothing
+// else runs. //parbor:unsync <why> opts out a line, with the
+// justification mandatory (lockguard reports the bare form).
+//
+// Fields of type atomic.Uint64 etc. need no analysis: the type system
+// already forbids plain access to them. This pass exists for the
+// address-based style, where the discipline is only conventional.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"parbor/internal/analyzers/flow"
+	"parbor/internal/analyzers/parbordir"
+	"parbor/internal/analyzers/scope"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "forbid plain access to variables the package also accesses via sync/atomic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var libFiles []*ast.File
+	for _, f := range pass.Files {
+		if !scope.InTestFile(pass, f.Pos()) {
+			libFiles = append(libFiles, f)
+		}
+	}
+	dir := parbordir.NewIndex(pass.Fset, libFiles)
+	// Pass 1: every &v handed to a sync/atomic function marks v
+	// atomic, and the exact syntax nodes of those operands are
+	// remembered so pass 2 does not flag the atomic calls themselves.
+	atomicVars := make(map[*types.Var]string) // var -> atomic func name, for the message
+	operands := make(map[ast.Expr]bool)
+	for _, f := range libFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := typeutil.StaticCallee(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op.String() != "&" {
+					continue
+				}
+				target := ast.Unparen(unary.X)
+				if v := varOf(pass.TypesInfo, target); v != nil {
+					atomicVars[v] = callee.Name()
+					operands[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil, nil
+	}
+	// Pass 2: any other access to those variables is mixing.
+	for _, f := range libFiles {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := flow.FreshObjects(pass.TypesInfo, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok || operands[e] {
+					return true
+				}
+				v := varOf(pass.TypesInfo, e)
+				if v == nil {
+					return true
+				}
+				fn, isAtomic := atomicVars[v]
+				if !isAtomic {
+					return true
+				}
+				if sel, ok := e.(*ast.SelectorExpr); ok && flow.FreshBase(pass.TypesInfo, fresh, sel.X) {
+					return true
+				}
+				if dir.SuppressedAt(parbordir.Unsync, e.Pos()) {
+					return true
+				}
+				pass.Reportf(e.Pos(), "%s is accessed with atomic.%s elsewhere in this package; plain access races with it", v.Name(), fn)
+				return false
+			})
+		}
+	}
+	return nil, nil
+}
+
+// varOf resolves an expression to the field or variable it names:
+// a selector to a struct field, or a plain identifier to a non-local
+// variable. Locals are excluded — a local handed to sync/atomic (a
+// WaitGroup-style helper) is visible in full right here, and flagging
+// every read of it would be noise.
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			// Possibly a qualified package-level var.
+			if v, ok := info.ObjectOf(e.Sel).(*types.Var); ok && isGlobal(v) {
+				return v
+			}
+			return nil
+		}
+		v, _ := sel.Obj().(*types.Var)
+		return v
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(e).(*types.Var); ok && isGlobal(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+// isGlobal reports whether v is a package-level variable.
+func isGlobal(v *types.Var) bool {
+	if v.IsField() {
+		return false
+	}
+	pkg := v.Pkg()
+	return pkg != nil && pkg.Scope().Lookup(v.Name()) == v
+}

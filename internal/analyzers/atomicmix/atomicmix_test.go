@@ -1,0 +1,11 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"parbor/internal/analyzers/atest"
+)
+
+func TestAtomicmix(t *testing.T) {
+	atest.Run(t, "../testdata/atomicmix")
+}

@@ -5,10 +5,12 @@
 // The crash sweep and disk-chaos soak in internal/fleet prove the
 // daemon survives every fault point — but only for I/O that flows
 // through the seam. A direct os.OpenFile, os.WriteFile, or os.Create
-// in a storage package (scope.Storage) is a write the injector never
-// sees: it cannot be torn, crashed, or broken by a test, so its
-// failure handling is unproven. The analyzer flags those calls in
-// non-test files.
+// in a storage package (scope.Storage) — or in one of the durable
+// command binaries (scope.DurableCmd), whose entry points create the
+// same state dirs and log dirs — is a write the injector never sees:
+// it cannot be torn, crashed, or broken by a test, so its failure
+// handling is unproven. The analyzer flags those calls in non-test
+// files.
 //
 // The //parbor:rawfs <justification> directive (see package parbordir)
 // opts a line or function out when a direct call is genuinely safe
@@ -45,7 +47,7 @@ var bannedCalls = map[string]bool{
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	if !scope.Storage[scope.InternalPkg(pass.Pkg.Path())] {
+	if !scope.Durable(pass.Pkg.Path()) {
 		return nil, nil
 	}
 	var libFiles []*ast.File
@@ -71,7 +73,7 @@ func run(pass *analysis.Pass) (any, error) {
 		if dir.SuppressedAt(parbordir.Rawfs, call.Pos()) {
 			return
 		}
-		pass.Reportf(call.Pos(), "os.%s in a storage package bypasses the fault plane; route through parbor/internal/faultfs or annotate the site //parbor:rawfs <why>", fn.Name())
+		pass.Reportf(call.Pos(), "os.%s on a durable path bypasses the fault plane; route through parbor/internal/faultfs or annotate the site //parbor:rawfs <why>", fn.Name())
 	})
 	return nil, nil
 }

@@ -1,0 +1,11 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"parbor/internal/analyzers/atest"
+)
+
+func TestLockguard(t *testing.T) {
+	atest.Run(t, "../testdata/lockguard")
+}

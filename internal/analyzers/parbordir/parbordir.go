@@ -41,6 +41,29 @@
 //	    build amortizes to once per row. hotalloc exempts it from the
 //	    planebuild call check.
 //
+//	//parbor:guardedby <mu>
+//	    On a struct field's doc or line comment. Declares that every
+//	    access to the field must happen with the named sibling mutex
+//	    field held; lockguard enforces it flow-sensitively over each
+//	    function's control-flow graph. The argument is mandatory and
+//	    must name a sync.Mutex or sync.RWMutex field of the same
+//	    struct.
+//
+//	//parbor:unsync <justification>
+//	    On the offending line, the line above it, or a function's doc
+//	    comment. Opts an access out of lockguard's guardedby check and
+//	    atomicmix's mixed-access check. Justification mandatory: every
+//	    sanctioned unsynchronized access records why it cannot race
+//	    (value not yet published, reader tolerates staleness, ...).
+//
+//	//parbor:droperr <justification>
+//	    Same placement rules. Opts a site on a durable path out of
+//	    syncdrop's requirement that Sync/Close/Flush/WriteFileAtomic
+//	    error results flow to a return or a sticky error field.
+//	    Justification mandatory: every dropped durability error
+//	    records why losing it cannot lose data (writer already
+//	    poisoned, read-side close, ...).
+//
 // Directive comments deliberately use the Go directive shape (no
 // space after //) so gofmt keeps them glued to their declarations.
 package parbordir
@@ -67,6 +90,16 @@ const (
 	// the caching seam through which read paths may reach plane
 	// construction.
 	Planecache = "parbor:planecache"
+	// Guardedby is the //parbor:guardedby directive name: on a struct
+	// field, it names the sibling mutex field that must be held across
+	// every access (lockguard).
+	Guardedby = "parbor:guardedby"
+	// Unsync is the //parbor:unsync directive name: it opts a site out
+	// of lockguard's and atomicmix's synchronized-access requirements.
+	Unsync = "parbor:unsync"
+	// Droperr is the //parbor:droperr directive name: it opts a site on
+	// a durable path out of syncdrop's error-flow requirement.
+	Droperr = "parbor:droperr"
 )
 
 // needsJustification lists the directives whose bare form (no
@@ -74,6 +107,8 @@ const (
 var needsJustification = map[string]bool{
 	Wallclock: true,
 	Rawfs:     true,
+	Unsync:    true,
+	Droperr:   true,
 }
 
 // parse splits a comment into (directive, justification) if it is a
@@ -108,6 +143,24 @@ func groupHas(g *ast.CommentGroup, directive string) bool {
 // named directive.
 func FuncHas(decl *ast.FuncDecl, directive string) bool {
 	return groupHas(decl.Doc, directive)
+}
+
+// FieldArg returns the argument of the named directive on a struct
+// field's doc or line comment ("//parbor:guardedby mu" -> "mu").
+// found distinguishes a directive with an empty argument from no
+// directive at all.
+func FieldArg(f *ast.Field, directive string) (arg string, found bool) {
+	for _, g := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if name, justification, ok := parse(c); ok && name == directive {
+				return justification, true
+			}
+		}
+	}
+	return "", false
 }
 
 // site records one occurrence of a directive.

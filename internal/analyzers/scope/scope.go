@@ -47,6 +47,38 @@ var Storage = map[string]bool{
 	"checkpoint": true, "fleet": true, "fleetlog": true,
 }
 
+// CmdPkg returns the first path element after the last "cmd/" segment
+// of an import path ("parbor/cmd/parbord" -> "parbord"), or "" when
+// the path has no cmd segment. The tail match mirrors InternalPkg so
+// the fixture modules scope identically to the real tree.
+func CmdPkg(path string) string {
+	i := strings.LastIndex(path, "cmd/")
+	if i < 0 {
+		return ""
+	}
+	tail := path[i+len("cmd/"):]
+	if j := strings.IndexByte(tail, '/'); j >= 0 {
+		tail = tail[:j]
+	}
+	return strings.TrimSuffix(tail, "_test")
+}
+
+// DurableCmd is the set of commands that operate on durable state
+// (checkpoints, fleet state dirs, the event log). faultfs and
+// syncdrop extend their enforcement from the storage packages to
+// these binaries, so a dropped Sync error or seam bypass in a CLI
+// entry point is caught the same as one in the library.
+var DurableCmd = map[string]bool{
+	"parbor": true, "parbord": true, "parborlog": true,
+}
+
+// Durable reports whether the package owns or operates on durable
+// on-disk state: the storage packages plus the durable commands.
+// syncdrop enforces error-flow discipline over this set.
+func Durable(path string) bool {
+	return Storage[InternalPkg(path)] || DurableCmd[CmdPkg(path)]
+}
+
 // CtxThreaded is the set of packages whose exported entry points
 // drive row/chip loops and must thread context.Context (ctxthread).
 var CtxThreaded = map[string]bool{

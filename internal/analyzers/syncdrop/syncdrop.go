@@ -1,0 +1,348 @@
+// Package syncdrop defines a flow-sensitive analyzer for durable
+// error flow: in the packages and commands that own on-disk state
+// (scope.Durable), the error result of Sync, Close, Flush, and
+// WriteFileAtomic must actually flow somewhere — a return, a sticky
+// error field, a consumer — and never be discarded. A dropped Sync
+// error is silent data loss: the write-ahead log believes a record
+// durable that the kernel already failed to persist.
+//
+// Call sites are classified by syntactic context:
+//
+//   - Discarded outright (expression statement, `_ =`, defer, go):
+//     a diagnostic, with one carve-out — the cleanup shape
+//     `f.Close(); return err` on an error path, where the block
+//     already returns a non-nil error and the Close is best-effort
+//     resource release. A discarded Close followed in the same basic
+//     block by `return nil` (or no return) gets no carve-out: the
+//     success path is exactly where the error matters.
+//
+//   - Bound to an identifier (`err := f.Sync()`): the CFG is searched
+//     forward from the binding for a reachable read of that identifier
+//     — a return, an `if err != nil`, a field store, a deferred
+//     closure capturing it. A rebinding before any read kills the
+//     path, so overwrite-before-read drops are caught too. If no path
+//     reads the value, the binding is a drop.
+//
+//   - Anything else (returned directly, passed as an argument,
+//     compared inline, stored to a field) consumes the error by
+//     construction.
+//
+// //parbor:droperr <why> opts a site out; the justification is
+// mandatory and the bare form is itself a diagnostic.
+package syncdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"parbor/internal/analyzers/parbordir"
+	"parbor/internal/analyzers/scope"
+)
+
+// Analyzer is the syncdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "syncdrop",
+	Doc:      "require Sync/Close/Flush/WriteFileAtomic error results to flow to a consumer on durable paths",
+	Requires: []*analysis.Analyzer{ctrlflow.Analyzer},
+	Run:      run,
+}
+
+// durableCalls are the function and method names whose error result
+// carries durability information.
+var durableCalls = map[string]bool{
+	"Sync": true, "Close": true, "Flush": true, "WriteFileAtomic": true,
+}
+
+type checker struct {
+	pass *analysis.Pass
+	cfgs *ctrlflow.CFGs
+	dir  *parbordir.Index
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope.Durable(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	var libFiles []*ast.File
+	for _, f := range pass.Files {
+		if !scope.InTestFile(pass, f.Pos()) {
+			libFiles = append(libFiles, f)
+		}
+	}
+	c := &checker{
+		pass: pass,
+		cfgs: pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs),
+		dir:  parbordir.NewIndex(pass.Fset, libFiles),
+	}
+	for _, pos := range c.dir.BarePositions(parbordir.Droperr) {
+		pass.Reportf(pos, "//parbor:droperr needs a justification: state why losing this error cannot lose data")
+	}
+	for _, f := range libFiles {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isDurableCall reports whether call is one of the watched calls with
+// an error as its last result.
+func (c *checker) isDurableCall(call *ast.CallExpr) bool {
+	var callee *types.Func
+	if fn := typeutil.StaticCallee(c.pass.TypesInfo, call); fn != nil {
+		callee = fn
+	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Interface method calls (an io.WriteCloser sink) have no
+		// static callee; the selection still names the method.
+		if s, ok := c.pass.TypesInfo.Selections[sel]; ok {
+			callee, _ = s.Obj().(*types.Func)
+		}
+	}
+	if callee == nil || !durableCalls[callee.Name()] {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// checkFunc classifies every watched call in one function.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	g := c.cfgs.FuncDecl(fd)
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !c.isDurableCall(call) {
+			return true
+		}
+		if c.dir.SuppressedAt(parbordir.Droperr, call.Pos()) {
+			return true
+		}
+		c.classify(fd, g, call, parents)
+		return true
+	})
+}
+
+// callName renders the watched call for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return "call"
+}
+
+// classify applies the context rules to one watched call.
+func (c *checker) classify(fd *ast.FuncDecl, g *cfg.CFG, call *ast.CallExpr, parents map[ast.Node]ast.Node) {
+	parent := parents[call]
+	for {
+		if p, ok := parent.(*ast.ParenExpr); ok {
+			parent = parents[p]
+			continue
+		}
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		if callName(call) == "Close" && g != nil && errorReturnFollows(g, p) {
+			return // cleanup on an error path: Close is best-effort
+		}
+		c.pass.Reportf(call.Pos(), "error result of %s is discarded on a durable path (return it, store it in a sticky error field, or //parbor:droperr <why>)", callName(call))
+	case *ast.DeferStmt:
+		c.pass.Reportf(call.Pos(), "deferred %s discards its error on a durable path (use `defer func() { ... %s() ... }` that consumes it, or //parbor:droperr <why>)", callName(call), callName(call))
+	case *ast.GoStmt:
+		c.pass.Reportf(call.Pos(), "error result of %s is discarded on a durable path (return it, store it in a sticky error field, or //parbor:droperr <why>)", callName(call))
+	case *ast.AssignStmt:
+		// Find which LHS the call's error lands in. The watched calls
+		// all have the error as sole result, so position matches.
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) != call || i >= len(p.Lhs) {
+				continue
+			}
+			lhs, ok := ast.Unparen(p.Lhs[i]).(*ast.Ident)
+			if !ok {
+				return // field or index store: a sticky-error consumer
+			}
+			if lhs.Name == "_" {
+				c.pass.Reportf(call.Pos(), "error result of %s is discarded on a durable path (return it, store it in a sticky error field, or //parbor:droperr <why>)", callName(call))
+				return
+			}
+			obj := c.pass.TypesInfo.ObjectOf(lhs)
+			if obj == nil || g == nil {
+				return
+			}
+			if !c.reachableRead(g, p, obj) {
+				c.pass.Reportf(call.Pos(), "error result of %s is bound to %s but never read on any path (return it, or //parbor:droperr <why>)", callName(call), lhs.Name)
+			}
+			return
+		}
+	}
+	// Return operand, call argument, inline comparison, composite
+	// literal: consumed by construction.
+}
+
+// errorReturnFollows reports whether stmt's basic block later returns
+// a non-nil error — the `f.Close(); return err` cleanup shape.
+func errorReturnFollows(g *cfg.CFG, stmt ast.Node) bool {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n != stmt {
+				continue
+			}
+			for _, later := range b.Nodes[i+1:] {
+				ret, ok := later.(*ast.ReturnStmt)
+				if !ok || len(ret.Results) == 0 {
+					continue
+				}
+				last := ast.Unparen(ret.Results[len(ret.Results)-1])
+				if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+					continue
+				}
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// reachableRead reports whether obj is read on some CFG path after
+// the binding statement, with rebinding killing the search on that
+// path (an overwritten error was dropped, whatever happens to the new
+// value). Deferred closures capturing obj count as reads.
+func (c *checker) reachableRead(g *cfg.CFG, binding ast.Node, obj types.Object) bool {
+	startBlock, startIdx := -1, -1
+	for bi, b := range g.Blocks {
+		for ni, n := range b.Nodes {
+			if n == binding {
+				startBlock, startIdx = bi, ni
+				break
+			}
+		}
+	}
+	if startBlock < 0 {
+		return true // binding not in CFG (dead code): nothing to prove
+	}
+	const (
+		fallsThrough = iota
+		reads
+		killed
+	)
+	scan := func(b *cfg.Block, from int) int {
+		for _, n := range b.Nodes[from:] {
+			if nodeReads(c.pass.TypesInfo, n, obj) {
+				return reads
+			}
+			if rebinds(c.pass.TypesInfo, n, obj) {
+				return killed
+			}
+		}
+		return fallsThrough
+	}
+	switch scan(g.Blocks[startBlock], startIdx+1) {
+	case reads:
+		return true
+	case killed:
+		return false
+	}
+	visited := make(map[int32]bool)
+	work := []*cfg.Block{}
+	for _, s := range g.Blocks[startBlock].Succs {
+		work = append(work, s)
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if visited[b.Index] {
+			continue
+		}
+		visited[b.Index] = true
+		switch scan(b, 0) {
+		case reads:
+			return true
+		case killed:
+			continue
+		}
+		work = append(work, b.Succs...)
+	}
+	return false
+}
+
+// nodeReads reports whether n contains a read of obj: any identifier
+// resolving to obj outside the pure-store positions of an assignment.
+func nodeReads(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil || found {
+			return
+		}
+		if as, ok := n.(*ast.AssignStmt); ok {
+			// LHS identifiers are stores, not reads; everything else
+			// (RHS, and non-ident LHS like a[i]) can read.
+			for _, rhs := range as.Rhs {
+				walk(rhs)
+			}
+			for _, lhs := range as.Lhs {
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); !isIdent {
+					walk(lhs)
+				}
+			}
+			return
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if info.ObjectOf(id) == obj {
+				found = true
+			}
+			return
+		}
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			walk(child)
+			return false
+		})
+	}
+	walk(n)
+	return found
+}
+
+// rebinds reports whether n assigns a fresh value to obj (making the
+// old error unrecoverable) without reading it.
+func rebinds(info *types.Info, n ast.Node, obj types.Object) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package syncdrop_test
+
+import (
+	"testing"
+
+	"parbor/internal/analyzers/atest"
+)
+
+func TestSyncdrop(t *testing.T) {
+	atest.Run(t, "../testdata/syncdrop")
+}

@@ -1,0 +1,3 @@
+module mixfix
+
+go 1.22

@@ -1,0 +1,66 @@
+// Package metrics is the atomicmix fixture: counters in the
+// address-based sync/atomic style. Lines without want comments assert
+// silence — pure-atomic and pure-plain fields must not be flagged.
+package metrics
+
+import "sync/atomic"
+
+// Counter mixes one atomic field, one plain field, and one typed
+// atomic.
+type Counter struct {
+	hits  uint64
+	miss  uint64
+	label string
+	typed atomic.Uint64
+}
+
+// New exercises the constructor exemption: c is fresh, so the plain
+// store cannot race with anything.
+func New(label string) *Counter {
+	c := &Counter{label: label}
+	c.hits = 0
+	return c
+}
+
+// Hit makes hits an atomic field package-wide.
+func (c *Counter) Hit() { atomic.AddUint64(&c.hits, 1) }
+
+// Snapshot reads it atomically: fine.
+func (c *Counter) Snapshot() uint64 { return atomic.LoadUint64(&c.hits) }
+
+// Torn reads it plainly: the bug this pass exists for.
+func (c *Counter) Torn() uint64 {
+	return c.hits // want atomicmix `plain access races`
+}
+
+// Reset writes it plainly: same bug, store side.
+func (c *Counter) Reset() {
+	c.hits = 0 // want atomicmix `plain access races`
+}
+
+// Stale documents why its plain read is safe.
+func (c *Counter) Stale() uint64 {
+	//parbor:unsync fixture: shutdown snapshot, all writers joined
+	return c.hits
+}
+
+// Miss only ever touches miss plainly: no mixing, no diagnostic.
+func (c *Counter) Miss() { c.miss++ }
+
+// Label is plain non-numeric state: never flagged.
+func (c *Counter) Label() string { return c.label }
+
+// Inc uses the typed atomic: the type system already enforces
+// discipline there, so the pass ignores it.
+func (c *Counter) Inc() { c.typed.Add(1) }
+
+// dropped is a package-level atomic variable.
+var dropped uint64
+
+// Drop marks it atomic.
+func Drop() { atomic.AddUint64(&dropped, 1) }
+
+// Dropped reads it plainly.
+func Dropped() uint64 {
+	return dropped // want atomicmix `plain access races`
+}

@@ -1,0 +1,12 @@
+// Command parbord is the durable-command half of the faultfs
+// fixture: the cmd path tail places it in scope.DurableCmd, so
+// direct mutations are flagged in the binaries' own code too.
+package main
+
+import "os"
+
+func persistState(path string) error {
+	return os.WriteFile(path, nil, 0o644) // want faultfs `os.WriteFile on a durable path bypasses the fault plane`
+}
+
+func main() { _ = persistState("state.json") }

@@ -1,0 +1,7 @@
+// Command scratchtool is not a durable command: the same call is
+// silent here. No want comments — this file asserts the scope gate.
+package main
+
+import "os"
+
+func main() { _ = os.WriteFile("scratch.txt", nil, 0o644) }

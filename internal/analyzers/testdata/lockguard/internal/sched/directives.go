@@ -1,0 +1,26 @@
+// Malformed //parbor:guardedby forms: each is itself a diagnostic, so
+// a typo cannot silently disable enforcement.
+package sched
+
+import "sync"
+
+type badNoArg struct {
+	mu sync.Mutex
+	n  int /* want lockguard `needs the guarding mutex field name` */ //parbor:guardedby
+}
+
+type badUnknown struct {
+	mu sync.Mutex
+	n  int /* want lockguard `names no field` */ //parbor:guardedby lock
+}
+
+type badKind struct {
+	flag bool
+	n    int /* want lockguard `not a sync.Mutex` */ //parbor:guardedby flag
+}
+
+// A bare //parbor:unsync demands a justification.
+func bareUnsync(b *badNoArg) {
+	/* want lockguard `needs a justification` */ //parbor:unsync
+	_ = b.n
+}

@@ -1,0 +1,122 @@
+// Package sched is the lockguard fixture: a miniature of the fleet
+// scheduler's locking discipline. Lines without want comments assert
+// analyzer silence — correct lock usage must not be flagged.
+package sched
+
+import "sync"
+
+// Pool mirrors the real scheduler's guarded-state shape.
+type Pool struct {
+	mu      sync.Mutex
+	pending []int //parbor:guardedby mu
+	running int   //parbor:guardedby mu
+	name    string
+}
+
+// yield stands in for the real scheduler's wait.
+func yield() {}
+
+// NewPool exercises the constructor exemption: the receiver is a
+// fresh local, not yet shared, so unguarded stores and even *Locked
+// calls on it are fine.
+func NewPool(name string) *Pool {
+	p := &Pool{name: name}
+	p.running = 0
+	p.drainOneLocked()
+	return p
+}
+
+// Push is the canonical lock/defer-unlock shape.
+func (p *Pool) Push(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pending = append(p.pending, v)
+}
+
+// Running is the lock/read/unlock shape.
+func (p *Pool) Running() int {
+	p.mu.Lock()
+	n := p.running
+	p.mu.Unlock()
+	return n
+}
+
+// TryPush has an early-unlock error path; both exits are clean.
+func (p *Pool) TryPush(v int) bool {
+	p.mu.Lock()
+	if p.running > 3 {
+		p.mu.Unlock()
+		return false
+	}
+	p.pending = append(p.pending, v)
+	p.mu.Unlock()
+	return true
+}
+
+// Drain is the defer-free unlock-wait-relock pattern from the real
+// scheduler: the loop condition joins the locked entry path with the
+// relocked backedge, so the state stays must-held throughout.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	for p.running > 0 {
+		p.mu.Unlock()
+		yield()
+		p.mu.Lock()
+	}
+	p.pending = nil
+	p.mu.Unlock()
+}
+
+// Peek reads the guarded slice before taking the lock.
+func (p *Pool) Peek() int {
+	if len(p.pending) == 0 { // want lockguard `guardedby mu but accessed without holding`
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending[0]
+}
+
+// Flush keeps accessing guarded state after releasing the lock.
+func (p *Pool) Flush() int {
+	p.mu.Lock()
+	n := len(p.pending)
+	p.mu.Unlock()
+	p.running = 0 // want lockguard `guardedby mu but accessed without holding`
+	return n
+}
+
+// Spawn returns a closure that reads guarded state without locking: a
+// closure runs on any goroutine, so it gets no inherited lock state.
+func (p *Pool) Spawn() func() int {
+	return func() int {
+		return p.running // want lockguard `guardedby mu but accessed without holding`
+	}
+}
+
+// SpawnSafe returns a closure that takes the lock itself.
+func (p *Pool) SpawnSafe() func() int {
+	return func() int {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.running
+	}
+}
+
+// Table exercises the RWMutex read path.
+type Table struct {
+	mu   sync.RWMutex
+	rows map[int]string //parbor:guardedby mu
+}
+
+// Get holds the read lock across the access.
+func (t *Table) Get(k int) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+// Len skips the lock entirely.
+func (t *Table) Len() int {
+	return len(t.rows) // want lockguard `guardedby mu but accessed without holding`
+}

@@ -1,0 +1,53 @@
+// Cross-file methods of Pool: the *Locked caller-holds-the-lock
+// convention and the //parbor:unsync opt-out.
+package sched
+
+// drainOneLocked pops the head; the caller holds p.mu, so the body is
+// analyzed lock-held and the obligation moves to the call sites.
+func (p *Pool) drainOneLocked() int {
+	if len(p.pending) == 0 {
+		return 0
+	}
+	v := p.pending[0]
+	p.pending = p.pending[1:]
+	return v
+}
+
+// resetLocked exercises transitive requirements: it needs mu only
+// because drainOneLocked does.
+func (p *Pool) resetLocked() {
+	for p.drainOneLocked() != 0 {
+	}
+}
+
+// Pop discharges the *Locked obligation correctly.
+func (p *Pool) Pop() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drainOneLocked()
+}
+
+// PopRacy calls the *Locked helper without the lock.
+func (p *Pool) PopRacy() int {
+	return p.drainOneLocked() // want lockguard `call to drainOneLocked without mu held`
+}
+
+// Reset discharges the transitive obligation correctly.
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	p.resetLocked()
+	p.mu.Unlock()
+}
+
+// ResetRacy trips the transitive requirement.
+func (p *Pool) ResetRacy() {
+	p.resetLocked() // want lockguard `call to resetLocked without mu held`
+}
+
+// resetUnsafe exercises //parbor:unsync line granularity: the
+// directive covers its own line and the line below, nothing further.
+func (p *Pool) resetUnsafe() {
+	//parbor:unsync fixture: pool handed over single-threaded during reset
+	p.pending = nil
+	p.running = 0 // want lockguard `guardedby mu but accessed without holding`
+}

@@ -1,0 +1,8 @@
+package sched
+
+// Test files are exempt: tests legitimately poke guarded state while
+// nothing else runs. No want comments — this file asserts silence.
+func probe(p *Pool) int {
+	p.pending = nil
+	return p.running
+}

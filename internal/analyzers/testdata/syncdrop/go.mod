@@ -1,0 +1,3 @@
+module dropfix
+
+go 1.22

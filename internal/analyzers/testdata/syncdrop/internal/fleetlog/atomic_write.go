@@ -1,0 +1,16 @@
+// WriteFileAtomic coverage: the name is watched wherever it resolves,
+// including a package-local seam like the real faultfs helper.
+package fleetlog
+
+// WriteFileAtomic mimics the durable write seam's signature.
+func WriteFileAtomic(path string, data []byte) error { return nil }
+
+// persist checks the write error: silent.
+func persist(path string, data []byte) error {
+	return WriteFileAtomic(path, data)
+}
+
+// persistRacy drops it.
+func persistRacy(path string, data []byte) {
+	WriteFileAtomic(path, data) // want syncdrop `error result of WriteFileAtomic is discarded`
+}

@@ -1,0 +1,134 @@
+// Package fleetlog is the syncdrop fixture: a miniature of the event
+// log's segment lifecycle. The package name puts it in scope.Storage,
+// so the durable error-flow rules apply. Lines without want comments
+// assert silence — every consuming shape must stay clean.
+package fleetlog
+
+import "errors"
+
+// segment stands in for an open log segment file.
+type segment struct{ dirty bool }
+
+func (s *segment) Sync() error  { return nil }
+func (s *segment) Close() error { return nil }
+func (s *segment) Flush() error { return nil }
+
+// writer carries a sticky error like the real fleetlog.Writer.
+type writer struct {
+	seg *segment
+	err error
+}
+
+// consume is an arbitrary error sink.
+func consume(err error) {}
+
+// --- consuming shapes: all silent ---
+
+// checkAndReturn is the canonical if-err-return shape.
+func checkAndReturn(s *segment) error {
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// directReturn passes the error straight out.
+func directReturn(s *segment) error { return s.Close() }
+
+// stickyStore lands the error in a sticky field.
+func (w *writer) stickyStore() {
+	w.err = w.seg.Sync()
+}
+
+// asArgument hands the error to a consumer.
+func asArgument(s *segment) { consume(s.Flush()) }
+
+// inlineCompare reads the error without binding it.
+func inlineCompare(s *segment) bool { return s.Sync() != nil }
+
+// sharedVar binds in branches and reads after the join.
+func sharedVar(s *segment, deep bool) error {
+	var err error
+	if deep {
+		err = s.Sync()
+	} else {
+		err = s.Flush()
+	}
+	return err
+}
+
+// deferredCapture consumes the close error through a deferred closure
+// writing the named return — the shape the real Writer.Close uses.
+func deferredCapture(s *segment) (err error) {
+	defer func() {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// cleanupClose is the error-path carve-out: the block already returns
+// a non-nil error, so the Close is best-effort resource release.
+func cleanupClose(bad bool) (*segment, error) {
+	s := &segment{}
+	if bad {
+		s.Close()
+		return nil, errors.New("open failed")
+	}
+	return s, nil
+}
+
+// --- dropping shapes: each is a diagnostic ---
+
+// bareDiscard throws the sync error away.
+func bareDiscard(s *segment) {
+	s.Sync() // want syncdrop `error result of Sync is discarded`
+}
+
+// blankDiscard is the same drop spelled explicitly.
+func blankDiscard(s *segment) {
+	_ = s.Flush() // want syncdrop `error result of Flush is discarded`
+}
+
+// successClose discards Close on the success path, where the error
+// is the only evidence the data made it to disk.
+func successClose(s *segment) error {
+	s.Close() // want syncdrop `error result of Close is discarded`
+	return nil
+}
+
+// deferredDiscard loses the error at function exit.
+func deferredDiscard(s *segment) {
+	defer s.Close() // want syncdrop `deferred Close discards its error`
+}
+
+// overwritten binds the sync error and clobbers it before any read.
+func overwritten(s *segment) error {
+	err := s.Sync() // want syncdrop `bound to err but never read`
+	err = s.Flush()
+	return err
+}
+
+// neverRead binds the error and uses the variable only as a store
+// target again later; the first binding never flows anywhere.
+func neverRead(s *segment, retry bool) error {
+	err := s.Sync() // want syncdrop `bound to err but never read`
+	if retry {
+		err = s.Sync()
+		return err
+	}
+	return nil
+}
+
+// justified documents why the drop is safe.
+func justified(s *segment) {
+	//parbor:droperr fixture: probe close on an already-degraded segment
+	s.Close()
+}
+
+// bareJustification demands a reason string.
+func bareJustification(s *segment) {
+	/* want syncdrop `needs a justification` */ //parbor:droperr
+	s.Close()
+}

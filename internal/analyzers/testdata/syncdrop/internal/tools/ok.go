@@ -1,0 +1,12 @@
+// Package tools is outside the durable scope: the same drops are
+// silent here. No want comments — this file asserts the scope gate.
+package tools
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+func drop(c *closer) {
+	c.Close()
+	_ = c.Close()
+}

@@ -125,10 +125,10 @@ type Injector struct {
 	cfg InjectorConfig
 
 	mu      sync.Mutex
-	seq     int
-	crashed bool
-	broken  error
-	trace   []Op
+	seq     int   //parbor:guardedby mu
+	crashed bool  //parbor:guardedby mu
+	broken  error //parbor:guardedby mu
+	trace   []Op  //parbor:guardedby mu
 }
 
 var _ FS = (*Injector)(nil)
@@ -238,6 +238,9 @@ func (in *Injector) step(kind OpKind, path string, n int, mutating bool) plan {
 	}
 	in.seq++
 	op := Op{Seq: in.seq, Kind: kind, Path: path, Bytes: n}
+	// The deferred append runs before the deferred Unlock (LIFO), so
+	// mu is still held; lockguard cannot see across the two defers.
+	//parbor:unsync deferred trace append runs before the LIFO-later deferred Unlock, mu still held
 	defer func() { in.trace = append(in.trace, op) }()
 
 	if in.cfg.CrashOp > 0 && in.seq == in.cfg.CrashOp {

@@ -36,13 +36,13 @@ type logSink struct {
 	col  *obs.Collector
 
 	mu       sync.Mutex
-	w        *fleetlog.Writer // nil while degraded or after close
-	degraded bool
-	reason   string
-	buf      []fleetlog.Event
-	bufCap   int
-	dropped  uint64
-	closed   bool
+	w        *fleetlog.Writer //parbor:guardedby mu — nil while degraded or after close
+	degraded bool             //parbor:guardedby mu
+	reason   string           //parbor:guardedby mu
+	buf      []fleetlog.Event //parbor:guardedby mu
+	bufCap   int              //parbor:guardedby mu
+	dropped  uint64           //parbor:guardedby mu
+	closed   bool             //parbor:guardedby mu
 }
 
 // newLogSink opens the log directory. An error here is a
@@ -87,6 +87,7 @@ func (s *logSink) degradeLocked(err error) {
 	s.degraded = true
 	s.reason = err.Error()
 	if s.w != nil {
+		//parbor:droperr the writer is already poisoned by the append/sync error being handled; its close error adds nothing
 		s.w.Close()
 		s.w = nil
 	}
@@ -115,6 +116,7 @@ func (s *logSink) probeLocked() {
 	}
 	for len(s.buf) > 0 {
 		if err := w.Append(s.buf[0]); err != nil {
+			//parbor:droperr probe failed and the sink stays degraded; the probe writer's close error cannot add information
 			w.Close()
 			return
 		}

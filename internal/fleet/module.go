@@ -47,9 +47,9 @@ type Module struct {
 	spec ModuleSpec
 
 	execMu sync.Mutex
-	mod    *dram.Module
-	host   *memctl.Host
-	sched  *onlinetest.Scheduler
+	mod    *dram.Module          //parbor:guardedby execMu
+	host   *memctl.Host          //parbor:guardedby execMu
+	sched  *onlinetest.Scheduler //parbor:guardedby execMu
 	col    *obs.Collector
 
 	// fleetRec receives fleet-level counters (CounterEpochs, ...) so
@@ -69,9 +69,9 @@ type Module struct {
 	baseEpochs int
 
 	stateMu sync.Mutex
-	status  Status
-	lastErr error
-	snap    *checkpoint.Snapshot
+	status  Status               //parbor:guardedby stateMu
+	lastErr error                //parbor:guardedby stateMu
+	snap    *checkpoint.Snapshot //parbor:guardedby stateMu
 }
 
 // buildModule constructs the runtime for a spec, optionally resuming
@@ -146,8 +146,8 @@ func buildModule(spec ModuleSpec, snap *checkpoint.Snapshot, fleetRec obs.Record
 	// Checkpoint immediately: the fleet invariant is that every
 	// enrolled module has a current snapshot at all times, so a drain
 	// arriving before the first quantum still persists the member.
-	m.refreshSnapshot()
-	if m.budgetExhausted() {
+	m.refreshSnapshotLocked()
+	if m.budgetExhaustedLocked() {
 		m.status = StatusDone
 	} else {
 		m.status = StatusIdle
@@ -155,10 +155,10 @@ func buildModule(spec ModuleSpec, snap *checkpoint.Snapshot, fleetRec obs.Record
 	return m, nil
 }
 
-// refreshSnapshot captures the current between-epochs state. Callers
-// must hold execMu (or be the constructor, before the module is
-// published).
-func (m *Module) refreshSnapshot() {
+// refreshSnapshotLocked captures the current between-epochs state.
+// Callers must hold execMu (or be the constructor, before the module
+// is published).
+func (m *Module) refreshSnapshotLocked() {
 	snap := checkpoint.Capture(m.mod, m.spec.Seed, m.sched.State())
 	snap.HostAttempts = m.host.Attempts()
 	m.stateMu.Lock()
@@ -166,9 +166,9 @@ func (m *Module) refreshSnapshot() {
 	m.stateMu.Unlock()
 }
 
-// budgetExhausted reports whether the epoch budget is spent. Callers
-// hold execMu or run before publication.
-func (m *Module) budgetExhausted() bool {
+// budgetExhaustedLocked reports whether the epoch budget is spent.
+// Callers hold execMu or run before publication.
+func (m *Module) budgetExhaustedLocked() bool {
 	return m.spec.MaxEpochs > 0 && m.sched.Epochs() >= m.spec.MaxEpochs
 }
 
@@ -214,7 +214,7 @@ func (m *Module) RunQuantum(ctx context.Context) bool {
 	// exactly the state a rebuilt module resumes from bit-identically;
 	// the drifted in-memory state is abandoned with this process.
 	if err == nil {
-		m.refreshSnapshot()
+		m.refreshSnapshotLocked()
 	}
 
 	m.stateMu.Lock()
@@ -248,7 +248,7 @@ func (m *Module) RunQuantum(ctx context.Context) bool {
 		m.lastErr = fmt.Errorf("fleet: module %s: event log append: %w", m.spec.ID, sinkErr)
 		return false
 	}
-	if m.budgetExhausted() {
+	if m.budgetExhaustedLocked() {
 		m.status = StatusDone
 		return false
 	}

@@ -12,8 +12,8 @@ import (
 // (that is the Pool's job) and no simulation state (the Module's).
 type Registry struct {
 	mu    sync.Mutex
-	byID  map[string]*Module
-	order []string
+	byID  map[string]*Module //parbor:guardedby mu
+	order []string           //parbor:guardedby mu
 }
 
 // NewRegistry builds an empty registry.

@@ -29,14 +29,14 @@ type Pool struct {
 	workers int
 
 	mu       sync.Mutex
-	cond     *sync.Cond // queues: signaled when work arrives or drain starts
-	idle     *sync.Cond // quiesce: signaled when pending+running hits zero
-	local    [][]*Module
-	injector []*Module
-	pending  int // queued modules (all deques + injector)
-	running  int // quanta executing right now
-	draining bool
-	started  bool
+	cond     *sync.Cond  // queues: signaled when work arrives or drain starts
+	idle     *sync.Cond  // quiesce: signaled when pending+running hits zero
+	local    [][]*Module //parbor:guardedby mu
+	injector []*Module   //parbor:guardedby mu
+	pending  int         //parbor:guardedby mu — queued modules (all deques + injector)
+	running  int         //parbor:guardedby mu — quanta executing right now
+	draining bool        //parbor:guardedby mu
+	started  bool        //parbor:guardedby mu
 
 	wg sync.WaitGroup
 }

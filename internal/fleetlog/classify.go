@@ -233,6 +233,7 @@ func (c *Classifier) Finish() (*Rollup, error) {
 		return nil, fmt.Errorf("fleetlog: classifier already finished")
 	}
 	c.done = true
+	//parbor:droperr classifier close releases scratch spill state re-derived on the next run; the rollup is already merged
 	defer c.Close()
 
 	// Distinct completed epochs per module.
@@ -355,11 +356,13 @@ func Analyze(dir string, cfg ClassifierConfig) (*Rollup, error) {
 	if err != nil {
 		return nil, err
 	}
+	//parbor:droperr read-side iterator close; every event already streamed or the stream errored
 	defer it.Close()
 	c, err := NewClassifier(cfg)
 	if err != nil {
 		return nil, err
 	}
+	//parbor:droperr classifier close releases scratch spill state; Finish already returned the rollup or an error
 	defer c.Close()
 	for {
 		ev, err := it.Next()

@@ -43,6 +43,7 @@ func Compact(srcDir, dstDir string, opts WriterOptions) (CompactStats, error) {
 	if err != nil {
 		return st, err
 	}
+	//parbor:droperr read-side iterator close over the source log; the destination writer's errors are what matter and are checked
 	defer it.Close()
 	w, err := OpenWriter(dstDir, opts)
 	if err != nil {

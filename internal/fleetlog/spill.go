@@ -167,6 +167,7 @@ func (s *spillSet) merge(yield func(spillKey) error) error {
 	defer func() {
 		for _, c := range h {
 			if c.f != nil {
+				//parbor:droperr read-side close of a scratch spill run removed by the cleanup below
 				c.f.Close()
 			}
 		}
@@ -184,6 +185,7 @@ func (s *spillSet) merge(yield func(spillKey) error) error {
 		if c.ok {
 			h = append(h, c)
 		} else {
+			//parbor:droperr read-side close of an empty scratch spill run; nothing was or will be read from it
 			f.Close()
 		}
 	}
@@ -206,6 +208,7 @@ func (s *spillSet) merge(yield func(spillKey) error) error {
 			heap.Fix(&h, 0)
 		} else {
 			if c.f != nil {
+				//parbor:droperr read-side close of a fully drained scratch spill run; its bytes are already merged
 				c.f.Close()
 				c.f = nil
 			}

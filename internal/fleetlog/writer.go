@@ -106,11 +106,11 @@ type Writer struct {
 	dir  string
 	opts WriterOptions
 	fsys faultfs.FS
-	f    faultfs.File
-	seq  int
-	size int64
-	buf  []byte // whole-record scratch, reused across appends
-	err  error  // sticky: a writer that failed mid-record must not continue
+	f    faultfs.File //parbor:guardedby mu
+	seq  int          //parbor:guardedby mu
+	size int64        //parbor:guardedby mu
+	buf  []byte       //parbor:guardedby mu — whole-record scratch, reused across appends
+	err  error        //parbor:guardedby mu — sticky: a writer that failed mid-record must not continue
 }
 
 // OpenWriter opens (creating if needed) a log directory for append.
@@ -129,7 +129,7 @@ func OpenWriter(dir string, opts WriterOptions) (*Writer, error) {
 	}
 	w := &Writer{dir: dir, opts: opts, fsys: fsys}
 	if len(segs) == 0 {
-		if err := w.openSegment(1); err != nil {
+		if err := w.openSegmentLocked(1); err != nil {
 			return nil, err
 		}
 		return w, nil
@@ -190,14 +190,15 @@ func cleanLength(fsys faultfs.FS, path string) (int64, error) {
 	}
 }
 
-// openSegment creates the next segment file and makes it current.
-func (w *Writer) openSegment(seq int) error {
+// openSegmentLocked creates the next segment file and makes it
+// current. Callers hold w.mu (or own the still-unpublished writer).
+func (w *Writer) openSegmentLocked(seq int) error {
 	f, err := w.fsys.OpenFile(filepath.Join(w.dir, segName(seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("fleetlog: creating segment: %w", err)
 	}
 	w.f, w.seq, w.size = f, seq, 0
-	if err := w.writeRecord(segHeader()); err != nil {
+	if err := w.writeRecordLocked(segHeader()); err != nil {
 		f.Close()
 		w.f = nil
 		return fmt.Errorf("fleetlog: writing segment header: %w", err)
@@ -247,12 +248,12 @@ func (w *Writer) Append(ev Event) error {
 	rec := buf[start:]
 
 	if w.size > int64(segHeaderLen) && w.size+int64(len(rec)) > w.opts.SegmentBytes {
-		if err := w.rotate(); err != nil {
+		if err := w.rotateLocked(); err != nil {
 			w.err = err
 			return err
 		}
 	}
-	if err := w.writeRecord(rec); err != nil {
+	if err := w.writeRecordLocked(rec); err != nil {
 		w.err = err
 		return w.err
 	}
@@ -260,10 +261,10 @@ func (w *Writer) Append(ev Event) error {
 	return nil
 }
 
-// writeRecord lands one framed record at the current boundary,
+// writeRecordLocked lands one framed record at the current boundary,
 // retrying transient faults after repairing the tail. Called with the
 // lock held.
-func (w *Writer) writeRecord(rec []byte) error {
+func (w *Writer) writeRecordLocked(rec []byte) error {
 	backoff := w.opts.RetryBackoff
 	var err error
 	for attempt := 0; attempt < w.opts.RetryAttempts; attempt++ {
@@ -295,13 +296,14 @@ func (w *Writer) writeRecord(rec []byte) error {
 	return fmt.Errorf("fleetlog: retries exhausted: %w", err)
 }
 
-// rotate closes the current segment and opens the next one.
-func (w *Writer) rotate() error {
+// rotateLocked closes the current segment and opens the next one.
+// Called with the lock held.
+func (w *Writer) rotateLocked() error {
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("fleetlog: closing segment: %w", err)
 	}
 	w.f = nil
-	return w.openSegment(w.seq + 1)
+	return w.openSegmentLocked(w.seq + 1)
 }
 
 // Sync flushes the current segment to stable storage. A Sync failure

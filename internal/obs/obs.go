@@ -86,11 +86,11 @@ type Collector struct {
 	cmds  [numCmds]atomic.Uint64
 
 	mu       sync.Mutex
-	counters map[string]uint64
-	hists    map[string]*Histogram
-	stages   []*stageRecord
-	config   map[string]any
-	figures  map[string]float64
+	counters map[string]uint64     //parbor:guardedby mu
+	hists    map[string]*Histogram //parbor:guardedby mu
+	stages   []*stageRecord        //parbor:guardedby mu
+	config   map[string]any        //parbor:guardedby mu
+	figures  map[string]float64    //parbor:guardedby mu
 }
 
 type stageRecord struct {

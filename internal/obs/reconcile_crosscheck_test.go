@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestReconcileCoversAllCounterKeys walks every non-test Go file in
+// the module and checks that each chaos.* / resilience.* counter key
+// the tree can increment appears in reconciledCounters, Reconcile's
+// invariant set. The walk is syntactic (go/parser, no type
+// information) but resolves the two shapes the tree actually uses:
+// a direct obs constant (rec.Add(obs.CounterRetries, ...)) and a
+// package-local alias of one (chaos.CounterWriteFaults =
+// obs.CounterChaosWriteFaults). Any matching string literal outside
+// this package counts too, so a hand-spelled key cannot hide either.
+//
+// The other direction is pinned as well: reconciledCounters may only
+// contain keys this package declares, so the set cannot accrete
+// entries for counters that no longer exist.
+func TestReconcileCoversAllCounterKeys(t *testing.T) {
+	keyPat := regexp.MustCompile(`^(chaos|resilience)\.`)
+	root := moduleRoot(t)
+
+	// Pass 1: collect every top-level const declaration in the tree.
+	// direct maps a const name to its string value; alias maps a const
+	// name to the name of the const it re-exports.
+	direct := map[string][]string{}
+	alias := map[string][]string{}
+	// incremented collects the keys to check: literal or
+	// const-resolved first arguments of .Inc/.Add calls, plus raw
+	// matching literals anywhere outside this package's declarations.
+	incremented := map[string]string{} // key -> "file:line" of one site
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var paths []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == "vendor" || name == "testdata" || name == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			return perr
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking module: %v", err)
+	}
+
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					switch v := vs.Values[i].(type) {
+					case *ast.BasicLit:
+						if v.Kind == token.STRING {
+							if s, err := strconv.Unquote(v.Value); err == nil {
+								direct[name.Name] = append(direct[name.Name], s)
+							}
+						}
+					case *ast.Ident:
+						alias[name.Name] = append(alias[name.Name], v.Name)
+					case *ast.SelectorExpr:
+						alias[name.Name] = append(alias[name.Name], v.Sel.Name)
+					}
+				}
+			}
+		}
+	}
+
+	// resolve follows alias chains (bounded — the tree has one hop,
+	// but be safe) down to string values.
+	var resolve func(name string, depth int) []string
+	resolve = func(name string, depth int) []string {
+		if depth > 4 {
+			return nil
+		}
+		out := append([]string(nil), direct[name]...)
+		for _, ref := range alias[name] {
+			out = append(out, resolve(ref, depth+1)...)
+		}
+		return out
+	}
+	// keysOf resolves an .Inc/.Add argument expression to candidate
+	// string keys.
+	keysOf := func(e ast.Expr) []string {
+		switch v := e.(type) {
+		case *ast.BasicLit:
+			if v.Kind == token.STRING {
+				if s, err := strconv.Unquote(v.Value); err == nil {
+					return []string{s}
+				}
+			}
+		case *ast.Ident:
+			return resolve(v.Name, 0)
+		case *ast.SelectorExpr:
+			return resolve(v.Sel.Name, 0)
+		}
+		return nil
+	}
+
+	// Pass 2: find increment sites and stray literals.
+	for i, f := range files {
+		path := paths[i]
+		inDecls := strings.HasSuffix(path, filepath.Join("internal", "obs", "report.go"))
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := v.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Inc" && sel.Sel.Name != "Add") || len(v.Args) == 0 {
+					return true
+				}
+				for _, k := range keysOf(v.Args[0]) {
+					if keyPat.MatchString(k) {
+						incremented[k] = fset.Position(v.Pos()).String()
+					}
+				}
+			case *ast.BasicLit:
+				// Raw key literals anywhere but the declaring file are
+				// treated as potential increments: the cheap syntactic
+				// over-approximation that keeps hand-spelled keys honest.
+				if inDecls || v.Kind != token.STRING {
+					return true
+				}
+				if s, err := strconv.Unquote(v.Value); err == nil && keyPat.MatchString(s) {
+					incremented[s] = fset.Position(v.Pos()).String()
+				}
+			}
+			return true
+		})
+	}
+
+	if len(incremented) == 0 {
+		t.Fatal("found no chaos.*/resilience.* increment sites in the tree; the walk is broken")
+	}
+	for key, site := range incremented {
+		if !reconciledCounters[key] {
+			t.Errorf("counter %q (incremented at %s) is missing from reconciledCounters: add it to Reconcile's invariant set (or waive it there with a reason)", key, site)
+		}
+	}
+
+	// Reverse direction: every entry in the invariant set must be a
+	// counter this package still declares.
+	declared := map[string]bool{}
+	for _, vals := range direct {
+		for _, s := range vals {
+			if keyPat.MatchString(s) {
+				declared[s] = true
+			}
+		}
+	}
+	for key := range reconciledCounters {
+		if !declared[key] {
+			t.Errorf("reconciledCounters entry %q is not declared by any counter constant; remove the stale entry", key)
+		}
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the
+// directory holding go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

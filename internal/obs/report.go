@@ -50,6 +50,29 @@ const (
 	CounterLogEventsDropped = "resilience.log_events_dropped"
 )
 
+// reconciledCounters is Reconcile's invariant set: every chaos.* and
+// resilience.* counter its cross-checks account for, either read by a
+// check or explicitly waived with a reason (CounterChaosStalls — a
+// stall delays, it does not fail, so it implies no symptom to check).
+// TestReconcileCoversAllCounterKeys walks the whole tree and fails if
+// any chaos.* / resilience.* key is incremented anywhere without
+// appearing here, so a new counter cannot silently escape
+// reconciliation: adding one forces a decision about what invariant
+// ties it to the rest of the report.
+var reconciledCounters = map[string]bool{
+	CounterChaosWriteFaults:    true,
+	CounterChaosReadFaults:     true,
+	CounterChaosStalls:         true, // waived: delays, never fails
+	CounterRetries:             true,
+	CounterQuarantinedChips:    true,
+	CounterDegradedEpochs:      true,
+	CounterUnrestoredBits:      true,
+	CounterUnrestoredRows:      true,
+	CounterInheritedQuarantine: true,
+	CounterLogDegraded:         true,
+	CounterLogEventsDropped:    true,
+}
+
 // Report is the structured, JSON-serializable record of one
 // experiment run: what was configured, what each stage cost, how
 // many DRAM commands the substrate issued, and the derived headline

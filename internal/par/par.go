@@ -73,26 +73,16 @@ func MapTimedCtx(ctx context.Context, n, workers int, fn func(i int) error, onTa
 		}
 		return nil
 	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
+	var wg sync.WaitGroup
+	fe := newFirstError()
 	next := make(chan int)
-	// done is closed when the first error lands, cancelling dispatch.
-	done := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
 				if err := call(fn, i, onTask); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-						close(done)
-					}
-					mu.Unlock()
+					fe.set(err)
 				}
 			}
 		}()
@@ -101,7 +91,7 @@ dispatch:
 	for i := 0; i < n; i++ {
 		select {
 		case next <- i:
-		case <-done:
+		case <-fe.done:
 			break dispatch
 		case <-ctx.Done():
 			break dispatch
@@ -109,10 +99,41 @@ dispatch:
 	}
 	close(next)
 	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+	if err := fe.get(); err != nil {
+		return err
 	}
 	return ctx.Err()
+}
+
+// firstError latches the first task failure across the worker pool.
+// A named struct rather than bare locals so the lock discipline is a
+// machine-checked //parbor:guardedby annotation, not a convention.
+type firstError struct {
+	mu   sync.Mutex
+	err  error         //parbor:guardedby mu
+	done chan struct{} // closed when err latches, cancelling dispatch
+}
+
+func newFirstError() *firstError {
+	return &firstError{done: make(chan struct{})}
+}
+
+// set latches err if it is the first failure; later errors are
+// dropped (Map reports the first error in order of occurrence).
+func (fe *firstError) set(err error) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.err == nil {
+		fe.err = err
+		close(fe.done)
+	}
+}
+
+// get returns the latched error, if any.
+func (fe *firstError) get() error {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.err
 }
 
 // call invokes fn(i), converting a panic into an error so that one
